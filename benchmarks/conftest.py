@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Each fixture draws one representative instance of a Table I setting at
+the midpoint of the corresponding figure's sweep.  Session-scoped so the
+(sometimes expensive) generation happens once per pytest run.
+
+Running the benchmarks::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``test_bench_*`` module carries the kernel benchmarks for one paper
+artifact; the ``test_series_*`` test in each module regenerates the
+artifact's numeric series in fast mode and prints it (full-scale series:
+``python -m repro <experiment>``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.generator import generate_instance
+from repro.workloads.settings import SETTING_I, SETTING_II, SETTING_III, SETTING_IV
+
+
+@pytest.fixture(scope="session")
+def setting1_market():
+    """Setting I at the sweep midpoint (N=110, K=30) — Figures 1, Table II."""
+    return generate_instance(SETTING_I, seed=0, n_workers=110)
+
+
+@pytest.fixture(scope="session")
+def setting2_market():
+    """Setting II at the sweep midpoint (N=120, K=35) — Figure 2."""
+    return generate_instance(SETTING_II, seed=0, n_tasks=35)
+
+
+@pytest.fixture(scope="session")
+def setting3_market():
+    """Setting III at the sweep midpoint (N=1100, K=200) — Figure 3."""
+    return generate_instance(SETTING_III, seed=0, n_workers=1100)
+
+
+@pytest.fixture(scope="session")
+def setting4_market():
+    """Setting IV at the sweep midpoint (N=1000, K=350) — Figure 4."""
+    return generate_instance(SETTING_IV, seed=0, n_tasks=350)

@@ -1,0 +1,43 @@
+"""Ablation benchmark: price-grid resolution (Theorem 6's |P| term).
+
+Times the DP-hSRC distribution computation at coarse and fine grids —
+demonstrating the Theorem 5 claim that runtime is essentially independent
+of |P| — and prints the fast-mode payment/leakage table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.auction.instance import AuctionInstance
+from repro.experiments import ablation_grid
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+
+
+def _regrid(instance, step):
+    low, high = 35.0, 60.0
+    n_points = int(round((high - low) / step)) + 1
+    return AuctionInstance(
+        bids=instance.bids,
+        quality=instance.quality,
+        demands=instance.demands,
+        price_grid=np.round(low + step * np.arange(n_points), 10),
+        c_min=instance.c_min,
+        c_max=instance.c_max,
+    )
+
+
+@pytest.mark.parametrize("step", [1.0, 0.1, 0.02])
+def test_bench_pmf_vs_grid_resolution(benchmark, setting1_market, step):
+    instance, _pool = setting1_market
+    regridded = _regrid(instance, step)
+    pmf = benchmark(DPHSRCAuction(epsilon=0.1).price_pmf, regridded)
+    assert pmf.support_size > 0
+
+
+def test_series_ablation_grid_fast(benchmark):
+    result = benchmark.pedantic(lambda: ablation_grid.run(fast=True, seed=0), rounds=1, iterations=1)
+    print()
+    print(result.to_table(precision=6))
+    # Steps are swept coarse→fine, so support sizes must be non-decreasing.
+    supports = result.column("|P|")
+    assert supports == sorted(supports)

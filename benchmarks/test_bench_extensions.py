@@ -1,0 +1,83 @@
+"""Benchmarks for the extension mechanisms and experiments.
+
+* threshold-payment auction (selection + N critical-payment re-runs),
+* permute-and-flip sampling vs exponential-mechanism PMF construction,
+* the fast-mode extension experiment series.
+"""
+
+import numpy as np
+
+from repro.cli import run_experiment
+from repro.mechanisms.dp_hsrc import DPHSRCAuction, payment_score_sensitivity
+from repro.mechanisms.threshold_auction import ThresholdPaymentAuction
+from repro.privacy.selection import permute_and_flip_sample
+
+
+def test_bench_threshold_auction(benchmark, setting1_market):
+    instance, _pool = setting1_market
+    outcome = benchmark.pedantic(
+        ThresholdPaymentAuction().run, args=(instance,), rounds=2, iterations=1
+    )
+    assert outcome.n_winners > 0
+
+
+def test_bench_permute_flip_sample(benchmark, setting1_market):
+    instance, _pool = setting1_market
+    base = DPHSRCAuction(epsilon=1.0).price_pmf(instance)
+    scores = -base.total_payments
+    sens = payment_score_sensitivity(instance)
+    rng = np.random.default_rng(0)
+    idx = benchmark(permute_and_flip_sample, scores, 0.1, sens, rng)
+    assert 0 <= idx < base.support_size
+
+
+def test_series_price_of_privacy_fast(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("price_of_privacy", fast=True), rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert all(e <= 0.1 + 1e-9 for e in result.column("dp empirical eps"))
+
+
+def test_series_dp_variants_fast(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("dp_variants", fast=True), rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+
+
+def test_series_approximation_fast(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("approximation", fast=True), rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        assert row[result.headers.index("dp_hsrc ratio")] >= 0.95
+
+
+def test_series_accuracy_fast(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("accuracy", fast=True), rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+
+
+def test_series_ablation_sensitivity_fast(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("ablation_sensitivity", fast=True), rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        if row[result.headers.index("factor x N*c_max")] >= 1.0:
+            assert row[result.headers.index("guarantee")] == "OK"
+
+
+def test_series_geo_workload_fast(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("geo_workload", fast=True), rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        geo = row[result.headers.index("dp_hsrc geo E[R]")]
+        base_geo = row[result.headers.index("baseline geo E[R]")]
+        assert geo <= base_geo * 1.05
+
+
+def test_series_budget_schedule_fast(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("budget_schedule", fast=True), rounds=1, iterations=1)
+    print()
+    print(result.to_table(precision=5))

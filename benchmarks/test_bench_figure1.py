@@ -1,0 +1,48 @@
+"""Benchmarks for Figure 1 (total payment vs N, setting I).
+
+Kernels: the three mechanisms' full price-distribution computations on a
+setting-I instance at the sweep midpoint.  The series test regenerates
+the figure's numeric rows (fast mode) and checks the paper's ordering:
+optimal ≤ DP-hSRC ≪ baseline.
+"""
+
+import pytest
+
+from repro.experiments import figure1
+from repro.mechanisms.baseline import BaselineAuction
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+from repro.mechanisms.optimal import optimal_total_payment
+
+
+def test_bench_dp_hsrc_pmf(benchmark, setting1_market):
+    instance, _pool = setting1_market
+    pmf = benchmark(DPHSRCAuction(epsilon=0.1).price_pmf, instance)
+    assert pmf.support_size > 0
+
+
+def test_bench_baseline_pmf(benchmark, setting1_market):
+    instance, _pool = setting1_market
+    pmf = benchmark(BaselineAuction(epsilon=0.1).price_pmf, instance)
+    assert pmf.support_size > 0
+
+
+def test_bench_optimal(benchmark, setting1_market):
+    instance, _pool = setting1_market
+    result = benchmark.pedantic(
+        optimal_total_payment, args=(instance,),
+        kwargs={"time_limit_per_solve": 60.0},
+        rounds=1, iterations=1,
+    )
+    assert result.total_payment > 0
+
+
+def test_series_figure1_fast(benchmark):
+    """Regenerate the Figure 1 series (fast mode) and check its shape."""
+    result = benchmark.pedantic(lambda: figure1.run(fast=True, seed=0), rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        opt = row[result.headers.index("optimal mean")]
+        dp = row[result.headers.index("dp_hsrc mean")]
+        base = row[result.headers.index("baseline mean")]
+        assert opt <= dp * 1.001 <= base * 1.05

@@ -1,0 +1,40 @@
+"""Benchmarks for Figure 3 (total payment vs N at scale, setting III).
+
+These run at N ≈ 1100, K = 200 — the scale where the paper (and we)
+declare the exact benchmark infeasible, so only the private mechanisms
+are benchmarked.  This is the stress benchmark for the grouped
+winner-set computation (Theorem 5's |P|-independence).
+"""
+
+from repro.experiments import figure3
+from repro.mechanisms.baseline import BaselineAuction
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+
+
+def test_bench_dp_hsrc_pmf_at_scale(benchmark, setting3_market):
+    instance, _pool = setting3_market
+    pmf = benchmark.pedantic(
+        DPHSRCAuction(epsilon=0.1).price_pmf, args=(instance,),
+        rounds=3, iterations=1,
+    )
+    assert pmf.support_size > 0
+
+
+def test_bench_baseline_pmf_at_scale(benchmark, setting3_market):
+    instance, _pool = setting3_market
+    pmf = benchmark.pedantic(
+        BaselineAuction(epsilon=0.1).price_pmf, args=(instance,),
+        rounds=3, iterations=1,
+    )
+    assert pmf.support_size > 0
+
+
+def test_series_figure3_fast(benchmark):
+    """Regenerate the Figure 3 series (fast mode) and check its shape."""
+    result = benchmark.pedantic(lambda: figure3.run(fast=True, seed=0, n_price_samples=1000), rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        dp = row[result.headers.index("dp_hsrc mean")]
+        base = row[result.headers.index("baseline mean")]
+        assert dp <= base * 1.05

@@ -1,0 +1,34 @@
+"""Benchmarks for Figure 4 (total payment vs K at scale, setting IV)."""
+
+from repro.experiments import figure4
+from repro.mechanisms.baseline import BaselineAuction
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+
+
+def test_bench_dp_hsrc_pmf_at_scale(benchmark, setting4_market):
+    instance, _pool = setting4_market
+    pmf = benchmark.pedantic(
+        DPHSRCAuction(epsilon=0.1).price_pmf, args=(instance,),
+        rounds=3, iterations=1,
+    )
+    assert pmf.support_size > 0
+
+
+def test_bench_baseline_pmf_at_scale(benchmark, setting4_market):
+    instance, _pool = setting4_market
+    pmf = benchmark.pedantic(
+        BaselineAuction(epsilon=0.1).price_pmf, args=(instance,),
+        rounds=3, iterations=1,
+    )
+    assert pmf.support_size > 0
+
+
+def test_series_figure4_fast(benchmark):
+    """Regenerate the Figure 4 series (fast mode) and check its shape."""
+    result = benchmark.pedantic(lambda: figure4.run(fast=True, seed=0, n_price_samples=1000), rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        dp = row[result.headers.index("dp_hsrc mean")]
+        base = row[result.headers.index("baseline mean")]
+        assert dp <= base * 1.05

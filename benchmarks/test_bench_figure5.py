@@ -1,0 +1,41 @@
+"""Benchmarks for Figure 5 (payment vs privacy-leakage trade-off).
+
+Kernels: the ε-reweighting of a computed PMF (the sweep's inner loop) and
+a single KL-divergence leakage evaluation.  The series test regenerates
+the trade-off curve in fast mode and checks its two monotone trends.
+"""
+
+from repro.experiments import figure5
+from repro.mechanisms.dp_hsrc import DPHSRCAuction, reweight_pmf
+from repro.privacy.leakage import pmf_kl_divergence
+from repro.workloads.generator import matched_neighbor
+from repro.workloads.settings import SETTING_I
+
+
+def test_bench_reweight_pmf(benchmark, setting1_market):
+    instance, _pool = setting1_market
+    base = DPHSRCAuction(epsilon=1.0).price_pmf(instance)
+    out = benchmark(reweight_pmf, base, instance, 45.0)
+    assert out.support_size == base.support_size
+
+
+def test_bench_kl_leakage(benchmark, setting1_market):
+    instance, _pool = setting1_market
+    auction = DPHSRCAuction(epsilon=1.0)
+    base = auction.price_pmf(instance)
+    neighbor_pmf = auction.price_pmf(
+        matched_neighbor(instance, SETTING_I, worker=0, seed=0)
+    )
+    leakage = benchmark(pmf_kl_divergence, base, neighbor_pmf)
+    assert leakage >= 0.0
+
+
+def test_series_figure5_fast(benchmark):
+    """Regenerate the Figure 5 series (fast mode) and check the trade-off."""
+    result = benchmark.pedantic(lambda: figure5.run(fast=True, seed=0), rounds=1, iterations=1)
+    print()
+    print(result.to_table(precision=6))
+    payments = result.column("avg total payment")
+    leakages = result.column("mean KL leakage")
+    assert payments[-1] <= payments[0]  # payment falls with epsilon
+    assert leakages[-1] >= leakages[0]  # leakage rises with epsilon

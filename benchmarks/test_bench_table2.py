@@ -1,0 +1,41 @@
+"""Benchmarks for Table II (execution time: DP-hSRC vs optimal).
+
+The kernel benchmarks time the two algorithms on the same setting-I
+instance — the exact comparison each cell of Table II reports.  The
+series test prints the fast-mode table and asserts the paper's headline
+asymmetry: DP-hSRC runs orders of magnitude faster than the exact
+optimal computation at every point.
+"""
+
+from repro.experiments import table2
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+from repro.mechanisms.optimal import optimal_total_payment
+
+
+def test_bench_dp_hsrc_cell(benchmark, setting1_market):
+    """One DP-hSRC cell of Table II (full distribution computation)."""
+    instance, _pool = setting1_market
+    pmf = benchmark(DPHSRCAuction(epsilon=0.1).price_pmf, instance)
+    assert pmf.support_size > 0
+
+
+def test_bench_optimal_cell(benchmark, setting1_market):
+    """One optimal cell of Table II (pruned exact computation)."""
+    instance, _pool = setting1_market
+    result = benchmark.pedantic(
+        optimal_total_payment, args=(instance,),
+        kwargs={"time_limit_per_solve": 60.0},
+        rounds=1, iterations=1,
+    )
+    assert result.total_payment > 0
+
+
+def test_series_table2_fast(benchmark):
+    """Regenerate Table II (fast mode) and check the runtime asymmetry."""
+    result = benchmark.pedantic(lambda: table2.run(fast=True, seed=0), rounds=1, iterations=1)
+    print()
+    print(result.to_table(precision=4))
+    for row in result.rows:
+        dp_time = row[result.headers.index("dp_hsrc time (s)")]
+        opt_time = row[result.headers.index("optimal time (s)")]
+        assert dp_time < opt_time

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Planning a sensing campaign under a total privacy budget.
+
+A platform wants to run DP-hSRC auctions for months against the same
+commuter pool, but has promised workers a *total* privacy budget of
+ε_total = 5 against their bids.  How many rounds should it run?
+
+Two forces pull in opposite directions:
+
+* more rounds → more sensing value, but a smaller per-round ε, a flatter
+  price distribution, and a higher expected payment per round;
+* advanced composition (accepting a tiny δ' failure probability) lets
+  the per-round ε shrink like 1/√k instead of 1/k, softening the blow
+  for long campaigns.
+
+This example prices out candidate schedules on a reference market and
+prints the menu an operator would choose from.
+
+Run:  python examples/campaign_planner.py
+"""
+
+from repro import SETTING_I, generate_instance, plan_campaign
+
+TOTAL_EPSILON = 5.0
+DELTA_SLACK = 1e-6
+ROUND_OPTIONS = (1, 5, 10, 50, 200, 1000)
+
+
+def main() -> None:
+    instance, _pool = generate_instance(SETTING_I, seed=11, n_workers=100)
+    plans = plan_campaign(
+        instance,
+        total_epsilon=TOTAL_EPSILON,
+        round_options=ROUND_OPTIONS,
+        delta_slack=DELTA_SLACK,
+    )
+
+    print(f"total privacy budget: eps = {TOTAL_EPSILON} "
+          f"(advanced rows accept delta' = {DELTA_SLACK})\n")
+    print(f"{'rounds':>7} {'accounting':>10} {'eps/round':>10} "
+          f"{'E[pay]/round':>12} {'E[total pay]':>12}")
+    for plan in plans:
+        print(
+            f"{plan.n_rounds:>7} {plan.accounting:>10} "
+            f"{plan.epsilon_per_round:>10.4f} "
+            f"{plan.expected_payment_per_round:>12.1f} "
+            f"{plan.expected_total_payment:>12.1f}"
+        )
+
+    # Where does advanced accounting start to pay off?
+    by_rounds: dict[int, dict[str, float]] = {}
+    for plan in plans:
+        by_rounds.setdefault(plan.n_rounds, {})[plan.accounting] = (
+            plan.expected_payment_per_round
+        )
+    crossover = [
+        rounds
+        for rounds, entry in sorted(by_rounds.items())
+        if "advanced" in entry and entry["advanced"] < entry["basic"] - 1e-9
+    ]
+    if crossover:
+        print(f"\nadvanced composition beats basic from ~{crossover[0]} rounds on "
+              f"(sqrt(k) scaling vs linear splitting).")
+    else:
+        print("\nadvanced composition never beat basic in this range "
+              "(its sqrt overhead dominates for short campaigns).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""A multi-round sensing campaign with skill learning and a privacy budget.
+
+The paper analyzes a single auction round with a known skill record θ.
+A real deployment runs *many* rounds: the platform learns θ from the
+labels it buys (here with Dawid–Skene truth discovery — the substrate the
+paper defers to its refs [34–38]) and spends privacy budget every round
+(sequential composition).
+
+This example contrasts two platforms over a 12-round campaign on the
+same worker population:
+
+* an **oracle** platform that knows every worker's true skills, and
+* a **learning** platform that embeds gold tasks (20% per round, the
+  quality-assurance scheme of the paper's ref [33]) and re-scores
+  workers against them each round,
+
+and prints how the learning platform's aggregation accuracy converges
+toward the oracle's while the privacy accountant ticks up.
+
+(Why gold tasks and not pure truth discovery?  Re-fitting Dawid-Skene
+on consensus labels alone compresses apparent accuracies toward 0.5 a
+little more every round — after a dozen rounds the shrunken skill record
+can make the announced error bounds infeasible.  The simulator
+reproduces that failure mode too: pass skill_estimator="dawid-skene".)
+
+Run:  python examples/longitudinal_campaign.py
+"""
+
+import numpy as np
+
+from repro import DPHSRCAuction, MCSSimulation, Platform, SETTING_I, WorkerPool
+from repro.workloads import generate_worker_population
+
+ROUNDS = 12
+EPSILON_PER_ROUND = 0.1
+
+
+def structured_pool(seed: int) -> WorkerPool:
+    """A population whose skills are learnable.
+
+    Table I draws θ_ij i.i.d. per (worker, task) — under that model a
+    worker's history says nothing about fresh tasks, so *no* estimator
+    can maintain the record across rounds.  Real workers have a stable
+    underlying ability; we model θ_ij = ability_i + small task noise,
+    which is exactly the structure gold-task scoring can recover.
+    """
+    rng = np.random.default_rng(seed)
+    base = generate_worker_population(SETTING_I, seed=seed, n_workers=150, n_tasks=30)
+    ability = rng.uniform(0.55, 0.9, size=base.n_workers)
+    skills = np.clip(
+        ability[:, None] + rng.normal(0, 0.05, size=base.skills.shape), 0.5, 0.99
+    )
+    return WorkerPool(skills=skills, bundles=base.bundles, costs=base.costs)
+
+
+def run_campaign(estimate_skills: bool, seed: int) -> list:
+    pool = structured_pool(seed)
+    simulation = MCSSimulation(
+        platform=Platform(DPHSRCAuction(epsilon=EPSILON_PER_ROUND)),
+        pool=pool,
+        epsilon_per_round=EPSILON_PER_ROUND,
+        error_threshold_range=(0.15, 0.25),
+        price_grid=SETTING_I.price_grid(),
+        c_min=SETTING_I.c_min,
+        c_max=SETTING_I.c_max,
+        estimate_skills=estimate_skills,
+        skill_estimator="gold",
+        gold_fraction=0.2,
+        budget=EPSILON_PER_ROUND * ROUNDS + 1e-9,
+    )
+    return simulation.run(ROUNDS, seed=seed + 1)
+
+
+def main() -> None:
+    oracle = run_campaign(estimate_skills=False, seed=100)
+    learner = run_campaign(estimate_skills=True, seed=100)
+
+    print(f"{'round':>5} {'eps spent':>9} | {'oracle acc':>10} {'oracle pay':>10} "
+          f"| {'learner acc':>11} {'learner pay':>11} {'skill MAE':>9}")
+    for o_rec, l_rec in zip(oracle, learner):
+        print(
+            f"{o_rec.round_index:>5} {l_rec.epsilon_spent:>9.2f} "
+            f"| {o_rec.sensing.accuracy:>10.1%} {o_rec.sensing.total_payment:>10.1f} "
+            f"| {l_rec.sensing.accuracy:>11.1%} {l_rec.sensing.total_payment:>11.1f} "
+            f"{l_rec.skill_record_error:>9.4f}"
+        )
+
+    oracle_acc = float(np.mean([r.sensing.accuracy for r in oracle]))
+    early = float(np.mean([r.sensing.accuracy for r in learner[:3]]))
+    late = float(np.mean([r.sensing.accuracy for r in learner[-3:]]))
+    print(f"\noracle mean accuracy:          {oracle_acc:.1%}")
+    print(f"learning platform, rounds 1-3: {early:.1%}")
+    print(f"learning platform, last 3:     {late:.1%}")
+    print(f"total privacy budget consumed: {learner[-1].epsilon_spent:.2f} "
+          f"({ROUNDS} rounds x eps={EPSILON_PER_ROUND}, sequential composition)")
+
+
+if __name__ == "__main__":
+    main()

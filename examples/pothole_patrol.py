@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Pothole patrol: a geotagging MCS campaign, end to end.
+
+The paper's motivating scenario (Section I): a city platform wants every
+road segment tagged "pothole / no pothole" with a guaranteed error
+bound, buying labels from commuters whose bids — the segments they drive
+(bundle) and their compensation ask (price) — are sensitive (routes
+reveal home/work; prices reveal device class).
+
+This example builds the scenario concretely rather than from the generic
+generator: commuters bid *contiguous runs* of road segments (a route),
+skill correlates with an underlying device quality, and cost scales with
+route length.  It then runs a full platform round — auction, sensing,
+weighted aggregation — and prints the per-task guarantees versus what
+actually happened.
+
+Run:  python examples/pothole_patrol.py
+"""
+
+import numpy as np
+
+from repro import DPHSRCAuction, Platform, TaskSet, WorkerPool
+
+N_SEGMENTS = 40       # road segments = binary tasks
+N_COMMUTERS = 150
+EPSILON = 0.1
+C_MIN, C_MAX = 5.0, 50.0
+DELTA = 0.15          # target mislabeling probability per segment
+
+
+def build_city(seed: int) -> tuple[WorkerPool, TaskSet]:
+    """A synthetic city: routes, device-driven skills, length-driven costs."""
+    rng = np.random.default_rng(seed)
+
+    # Each commuter drives a contiguous route of 4-12 segments on the
+    # city's ring road (wrap-around keeps every segment reachable —
+    # a linear road would leave its ends almost untagged).
+    starts = rng.integers(0, N_SEGMENTS, size=N_COMMUTERS)
+    lengths = rng.integers(4, 13, size=N_COMMUTERS)
+    bundles = tuple(
+        frozenset((int(s) + i) % N_SEGMENTS for i in range(int(l)))
+        for s, l in zip(starts, lengths)
+    )
+
+    # Device quality drives skill: cheap phones ~0.6, flagships ~0.95.
+    device_quality = rng.uniform(0.55, 0.95, size=N_COMMUTERS)
+    skills = np.clip(
+        device_quality[:, None] + rng.normal(0, 0.03, size=(N_COMMUTERS, N_SEGMENTS)),
+        0.5, 0.99,
+    )
+
+    # Cost: a base fare plus per-segment effort, better devices ask more.
+    costs = np.clip(
+        2.0 + 2.5 * lengths + 10.0 * (device_quality - 0.55) + rng.normal(0, 1, N_COMMUTERS),
+        C_MIN, C_MAX,
+    ).round(1)
+
+    ground_truth = rng.choice((-1, 1), size=N_SEGMENTS)  # +1 = pothole
+    tasks = TaskSet(
+        true_labels=ground_truth,
+        error_thresholds=np.full(N_SEGMENTS, DELTA),
+    )
+    return WorkerPool(skills=skills, bundles=bundles, costs=costs), tasks
+
+
+def main() -> None:
+    pool, tasks = build_city(seed=3)
+    price_grid = np.round(np.arange(20.0, C_MAX + 0.05, 0.5), 10)
+    instance = pool.to_instance(
+        error_thresholds=tasks.error_thresholds,
+        price_grid=price_grid,
+        c_min=C_MIN,
+        c_max=C_MAX,
+    )
+
+    platform = Platform(DPHSRCAuction(epsilon=EPSILON))
+    round_report = platform.run_round(pool, tasks, instance, seed=11)
+    outcome = round_report.outcome
+
+    print(f"campaign: {N_SEGMENTS} road segments, {N_COMMUTERS} commuters")
+    print(f"clearing price: {outcome.price:.1f}, winners: {outcome.n_winners}, "
+          f"total payout: {outcome.total_payment:.1f}")
+    print(f"\nper-segment guarantee: Pr[wrong tag] <= {DELTA}")
+    print(f"segments meeting the coverage demand: "
+          f"{int(round_report.demand_met.sum())}/{N_SEGMENTS}")
+    print(f"worst achieved error bound: {round_report.error_bounds.max():.3f}")
+    print(f"actual aggregation accuracy this round: {round_report.accuracy:.1%}")
+
+    n_potholes_true = int((tasks.true_labels == 1).sum())
+    n_potholes_found = int((round_report.aggregated == 1).sum())
+    print(f"\npotholes: {n_potholes_true} real, {n_potholes_found} reported")
+
+    # The privacy story: what a curious commuter could learn.
+    pmf = platform.mechanism.price_pmf(instance)
+    print(f"\nthe clearing price was drawn from {pmf.support_size} candidates; "
+          f"changing any single commuter's bid shifts each price's probability "
+          f"by at most a factor e^{EPSILON} = {np.exp(EPSILON):.3f} (Theorem 2) — "
+          f"routes and asks stay private.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate the full-scale reference results recorded in EXPERIMENTS.md.
+# Each experiment's series is written to results/<name>.txt as it finishes,
+# so a crash or timeout loses only the experiment in flight.
+set -u
+mkdir -p results
+for name in table1 figure5 ablation_grid ablation_sensitivity ablation_greedy \
+            ablation_solver accuracy dp_variants price_of_privacy approximation \
+            geo_workload budget_schedule figure3 figure4 figure1 figure2 table2; do
+    echo "=== $name ==="
+    start=$(date +%s)
+    if timeout 3600 python -m repro "$name" --seed 0 > "results/$name.txt" 2> "results/$name.err"; then
+        echo "wall $(( $(date +%s) - start ))s" > "results/$name.time"
+    else
+        echo "$name FAILED/TIMED OUT after $(( $(date +%s) - start ))s"
+    fi
+done
+echo "reference run complete"

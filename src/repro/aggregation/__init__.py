@@ -1,0 +1,41 @@
+"""Label aggregation substrate (paper Section III-B).
+
+The platform aggregates the ±1 labels submitted by winning workers into a
+final label per task.  This package implements:
+
+* :mod:`~repro.aggregation.error_bounds` — the Lemma 1 arithmetic linking
+  skill levels ``θ`` and error thresholds ``δ`` to the covering quantities
+  ``q_ij = (2θ_ij − 1)²`` and ``Q_j = 2 ln(1/δ_j)``.
+* :mod:`~repro.aggregation.weighted` — the optimal weighted aggregation
+  rule ``l̂_j = sign(Σ_i (2θ_ij − 1) l_ij)`` of Lemma 1.
+* :mod:`~repro.aggregation.majority` — unweighted majority voting, the
+  naive baseline.
+* :mod:`~repro.aggregation.dawid_skene` — EM truth discovery estimating
+  worker skills from label data alone, standing in for the paper's
+  references [34–38] as the platform's skill-record substrate.
+
+Labels are ``(N, K)`` integer matrices with entries ``+1``/``−1`` for
+submitted labels and ``0`` for "worker i did not label task j".
+"""
+
+from repro.aggregation.error_bounds import (
+    achieved_error_bound,
+    coverage_demands,
+    quality_matrix,
+    required_coverage,
+)
+from repro.aggregation.weighted import weighted_aggregate, weighted_scores
+from repro.aggregation.majority import majority_vote
+from repro.aggregation.dawid_skene import DawidSkeneResult, dawid_skene
+
+__all__ = [
+    "quality_matrix",
+    "coverage_demands",
+    "required_coverage",
+    "achieved_error_bound",
+    "weighted_aggregate",
+    "weighted_scores",
+    "majority_vote",
+    "dawid_skene",
+    "DawidSkeneResult",
+]

@@ -1,0 +1,194 @@
+"""Dawid–Skene EM truth discovery for binary labeling.
+
+The paper assumes the platform "maintains a historical record of the
+skill level matrix θ" and defers its estimation to truth-discovery
+algorithms [34–38].  This module supplies that substrate: the classic
+Dawid & Skene (1979) EM algorithm specialized to binary (±1) tasks with a
+per-worker symmetric-optional confusion model.
+
+Model
+-----
+Each task ``j`` has a latent true label ``l_j ∈ {+1, −1}`` with prior
+``Pr[l_j = +1] = π``.  Worker ``i`` reports the true label with her latent
+accuracies ``a_i = Pr[report +1 | truth +1]`` and
+``b_i = Pr[report −1 | truth −1]`` (a full 2×2 confusion matrix per
+worker).  EM alternates:
+
+* **E-step** — posterior of each task's true label given current worker
+  parameters;
+* **M-step** — re-estimate ``π, a_i, b_i`` from the posteriors.
+
+The fitted per-worker accuracy on a task equals ``a_i`` or ``b_i``
+depending on the truth, so the symmetric skill reported back to the
+auction layer is ``θ_i = π·a_i + (1−π)·b_i`` (the marginal probability of
+a correct label).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["DawidSkeneResult", "dawid_skene"]
+
+#: Probabilities are clipped into [EPS, 1-EPS] to keep the log-likelihood finite.
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class DawidSkeneResult:
+    """Fitted Dawid–Skene model.
+
+    Attributes
+    ----------
+    posterior_positive:
+        ``(K,)`` posterior probability that each task's true label is +1.
+    accuracy_positive:
+        ``(N,)`` fitted ``a_i = Pr[report +1 | truth +1]`` per worker.
+    accuracy_negative:
+        ``(N,)`` fitted ``b_i = Pr[report −1 | truth −1]`` per worker.
+    prior_positive:
+        Fitted class prior ``π = Pr[l_j = +1]``.
+    n_iterations:
+        EM iterations executed.
+    log_likelihood:
+        Final observed-data log-likelihood.
+    converged:
+        Whether the relative log-likelihood improvement dropped below the
+        tolerance before the iteration cap.  EM's likelihood ascent is
+        monotone, so a non-converged result is still the best iterate
+        found — callers needing strict convergence should check the flag.
+    """
+
+    posterior_positive: np.ndarray
+    accuracy_positive: np.ndarray
+    accuracy_negative: np.ndarray
+    prior_positive: float
+    n_iterations: int
+    log_likelihood: float
+    converged: bool = True
+
+    @property
+    def labels(self) -> np.ndarray:
+        """MAP estimate of the true labels (``+1``/``−1`` per task)."""
+        return np.where(self.posterior_positive >= 0.5, 1, -1)
+
+    @property
+    def worker_skills(self) -> np.ndarray:
+        """Marginal per-worker accuracy ``θ_i = π a_i + (1−π) b_i``."""
+        return (
+            self.prior_positive * self.accuracy_positive
+            + (1.0 - self.prior_positive) * self.accuracy_negative
+        )
+
+    def skill_matrix(self, n_tasks: int | None = None) -> np.ndarray:
+        """Expand per-worker skills to the ``(N, K)`` matrix the auction uses.
+
+        Dawid–Skene fits one accuracy per worker; the auction layer wants
+        per-(worker, task) skills, so the worker skill is broadcast across
+        tasks.  ``n_tasks`` defaults to the number of fitted tasks.
+        """
+        if n_tasks is None:
+            n_tasks = self.posterior_positive.shape[0]
+        return np.tile(self.worker_skills[:, None], (1, int(n_tasks)))
+
+
+def dawid_skene(
+    labels: np.ndarray,
+    *,
+    max_iterations: int = 200,
+    tolerance: float = 1e-7,
+) -> DawidSkeneResult:
+    """Fit the binary Dawid–Skene model with EM.
+
+    Parameters
+    ----------
+    labels:
+        ``(N, K)`` matrix of ±1 labels with 0 marking "worker i did not
+        label task j".  Every task must have at least one label.
+    max_iterations:
+        EM iteration cap.
+    tolerance:
+        Convergence threshold on the *relative* log-likelihood
+        improvement (relative to ``1 + |log-likelihood|``, so the
+        criterion scales with the data size).
+
+    Raises
+    ------
+    ValidationError
+        On malformed label matrices or tasks with no labels.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 2:
+        raise ValidationError("labels must be a 2-D (workers × tasks) matrix")
+    if not np.all(np.isin(labels, (-1, 0, 1))):
+        raise ValidationError("labels must contain only -1, 0 (missing), and +1")
+    n_workers, n_tasks = labels.shape
+    observed = labels != 0
+    if not np.all(observed.any(axis=0)):
+        raise ValidationError("every task needs at least one label")
+
+    pos_report = labels == 1
+    neg_report = labels == -1
+
+    # Initialize task posteriors from majority vote (smoothed).
+    vote = labels.sum(axis=0).astype(float)
+    counts = observed.sum(axis=0).astype(float)
+    mu = np.clip(0.5 + 0.5 * vote / np.maximum(counts, 1.0), _EPS, 1 - _EPS)
+
+    prev_ll = -np.inf
+    a = np.full(n_workers, 0.7)
+    b = np.full(n_workers, 0.7)
+    pi = 0.5
+    for iteration in range(1, max_iterations + 1):
+        # ---- M-step: worker accuracies and class prior from posteriors.
+        pi = float(np.clip(mu.mean(), _EPS, 1 - _EPS))
+        pos_mass = observed * mu[None, :]
+        neg_mass = observed * (1.0 - mu)[None, :]
+        # Laplace smoothing keeps accuracies interior for workers with
+        # very few labels.
+        a = (pos_report * mu[None, :]).sum(axis=1) + 1.0
+        a /= pos_mass.sum(axis=1) + 2.0
+        b = (neg_report * (1.0 - mu)[None, :]).sum(axis=1) + 1.0
+        b /= neg_mass.sum(axis=1) + 2.0
+        a = np.clip(a, _EPS, 1 - _EPS)
+        b = np.clip(b, _EPS, 1 - _EPS)
+
+        # ---- E-step: task posteriors from worker accuracies.
+        log_pos = np.log(pi) + (
+            pos_report * np.log(a)[:, None] + neg_report * np.log(1 - a)[:, None]
+        ).sum(axis=0)
+        log_neg = np.log(1 - pi) + (
+            neg_report * np.log(b)[:, None] + pos_report * np.log(1 - b)[:, None]
+        ).sum(axis=0)
+        log_norm = np.logaddexp(log_pos, log_neg)
+        mu = np.clip(np.exp(log_pos - log_norm), _EPS, 1 - _EPS)
+
+        log_likelihood = float(log_norm.sum())
+        if abs(log_likelihood - prev_ll) < tolerance * (1.0 + abs(log_likelihood)):
+            return DawidSkeneResult(
+                posterior_positive=mu,
+                accuracy_positive=a,
+                accuracy_negative=b,
+                prior_positive=pi,
+                n_iterations=iteration,
+                log_likelihood=log_likelihood,
+                converged=True,
+            )
+        prev_ll = log_likelihood
+
+    # EM ascends the likelihood monotonically, so the final iterate is the
+    # best found; report it with the convergence flag down instead of
+    # destroying the caller's pipeline over a slow ridge.
+    return DawidSkeneResult(
+        posterior_positive=mu,
+        accuracy_positive=a,
+        accuracy_negative=b,
+        prior_positive=pi,
+        n_iterations=max_iterations,
+        log_likelihood=prev_ll,
+        converged=False,
+    )

@@ -1,0 +1,44 @@
+"""Unweighted majority voting — the naive aggregation baseline.
+
+Used in tests and examples to demonstrate why the platform weights votes
+by skill: majority voting treats a θ=0.51 worker and a θ=0.99 worker as
+equally credible, so it needs substantially more (or better) workers to
+reach the same error bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["majority_vote"]
+
+
+def majority_vote(labels: np.ndarray, *, tie_value: int = 1) -> np.ndarray:
+    """Aggregate ±1 labels by simple majority per task.
+
+    Parameters
+    ----------
+    labels:
+        ``(N, K)`` matrix of ±1 labels with 0 marking "no label".
+    tie_value:
+        The label returned when a task's votes tie (including the case of
+        no votes at all).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(K,)`` integer array of aggregated ±1 labels.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 2:
+        raise ValidationError("labels must be a 2-D (workers × tasks) matrix")
+    if not np.all(np.isin(labels, (-1, 0, 1))):
+        raise ValidationError("labels must contain only -1, 0 (missing), and +1")
+    if tie_value not in (-1, 1):
+        raise ValidationError("tie_value must be +1 or -1")
+    scores = labels.sum(axis=0)
+    out = np.sign(scores).astype(int)
+    out[out == 0] = tie_value
+    return out

@@ -1,0 +1,75 @@
+"""The weighted aggregation rule of Lemma 1.
+
+The platform computes, per task, the skill-weighted vote
+
+    l̂_j = sign( Σ_{i labels j} (2 θ_ij − 1) · l_ij ),
+
+which is the aggregation rule for which the error-bound constraint of
+Lemma 1 is both necessary and sufficient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils import validation
+
+__all__ = ["weighted_scores", "weighted_aggregate"]
+
+
+def _validate_labels(labels: np.ndarray) -> np.ndarray:
+    labels = np.asarray(labels)
+    if labels.ndim != 2:
+        raise ValidationError("labels must be a 2-D (workers × tasks) matrix")
+    if not np.all(np.isin(labels, (-1, 0, 1))):
+        raise ValidationError("labels must contain only -1, 0 (missing), and +1")
+    return labels.astype(float)
+
+
+def weighted_scores(labels: np.ndarray, skills: np.ndarray) -> np.ndarray:
+    """Per-task weighted vote totals ``Σ_i (2θ_ij − 1) l_ij``.
+
+    Parameters
+    ----------
+    labels:
+        ``(N, K)`` matrix of ±1 labels with 0 marking "no label".
+    skills:
+        ``(N, K)`` skill matrix ``θ``; only entries where a label exists
+        contribute.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(K,)`` real-valued scores; positive favors +1, negative −1.
+    """
+    labels = _validate_labels(labels)
+    skills = validation.as_float_array(skills, "skills", ndim=2)
+    validation.require_in_unit_interval(skills, "skills")
+    if labels.shape != skills.shape:
+        raise ValidationError(
+            f"labels shape {labels.shape} does not match skills shape {skills.shape}"
+        )
+    weights = 2.0 * skills - 1.0
+    return np.asarray((weights * labels).sum(axis=0), dtype=float)
+
+
+def weighted_aggregate(
+    labels: np.ndarray, skills: np.ndarray, *, tie_value: int = 1
+) -> np.ndarray:
+    """Aggregated labels ``l̂_j = sign(weighted score)`` per task.
+
+    Ties (score exactly zero, e.g. no labels at all) resolve to
+    ``tie_value`` so the output is always a valid ±1 labeling.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(K,)`` integer array of aggregated ±1 labels.
+    """
+    if tie_value not in (-1, 1):
+        raise ValidationError("tie_value must be +1 or -1")
+    scores = weighted_scores(labels, skills)
+    out = np.sign(scores).astype(int)
+    out[out == 0] = tie_value
+    return out

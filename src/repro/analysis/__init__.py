@@ -1,0 +1,42 @@
+"""Empirical audits of the mechanisms' proven properties.
+
+Each module turns one of the paper's theorems into a measurable check:
+
+* :mod:`~repro.analysis.payment` — payment statistics (sampled as in
+  Figures 1–4 and exact), approximation ratios, and the Theorem 6
+  envelope check.
+* :mod:`~repro.analysis.truthfulness` — Theorem 3: no deviation gains a
+  worker more than γ = ε·Δc in exact expected utility.
+* :mod:`~repro.analysis.rationality` — Theorem 4: every outcome in the
+  support pays each winner at least her asking price.
+* :mod:`~repro.analysis.dp_verification` — Theorem 2: the max divergence
+  between neighboring instances' price PMFs never exceeds ε.
+"""
+
+from repro.analysis.payment import (
+    PaymentStats,
+    approximation_ratio,
+    exact_payment_stats,
+    sampled_payment_stats,
+    social_cost,
+)
+from repro.analysis.truthfulness import TruthfulnessReport, truthfulness_audit
+from repro.analysis.rationality import RationalityReport, rationality_audit
+from repro.analysis.dp_verification import DPReport, dp_audit
+from repro.analysis.diagnostics import MarketDiagnostics, diagnose
+
+__all__ = [
+    "PaymentStats",
+    "sampled_payment_stats",
+    "exact_payment_stats",
+    "approximation_ratio",
+    "social_cost",
+    "TruthfulnessReport",
+    "truthfulness_audit",
+    "RationalityReport",
+    "rationality_audit",
+    "DPReport",
+    "dp_audit",
+    "MarketDiagnostics",
+    "diagnose",
+]

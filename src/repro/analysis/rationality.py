@@ -1,0 +1,74 @@
+"""Individual-rationality audit (Theorem 4).
+
+Theorem 4: under truthful bidding, every winner's utility ``p − c_i`` is
+non-negative because winners are only drawn from workers asking at most
+the clearing price.  The audit checks the property over the mechanism's
+*entire* outcome support, not just one sample: for every support price,
+every committed winner must be asking no more than that price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.auction.instance import AuctionInstance
+from repro.auction.mechanism import PricePMF
+
+__all__ = ["RationalityReport", "rationality_audit"]
+
+
+@dataclass(frozen=True)
+class RationalityReport:
+    """Support-wide individual-rationality check.
+
+    Attributes
+    ----------
+    satisfied:
+        True iff no (support price, winner) pair has a negative margin.
+    min_margin:
+        The smallest ``price − ρ_i`` over all support outcomes and their
+        winners; ≥ 0 iff ``satisfied`` (under truthful bids this equals
+        the smallest utility any winner can ever receive).
+    violations:
+        (support index, worker) pairs with negative margin, if any.
+    """
+
+    satisfied: bool
+    min_margin: float
+    violations: tuple[tuple[int, int], ...]
+
+
+def rationality_audit(pmf: PricePMF, instance: AuctionInstance) -> RationalityReport:
+    """Check Theorem 4 across the full outcome support.
+
+    Parameters
+    ----------
+    pmf:
+        The mechanism's exact outcome distribution on ``instance``.
+    instance:
+        The audited instance; its bid prices are taken as the workers'
+        costs (truthful bidding, per Theorem 3's conclusion).
+    """
+    asking = instance.prices
+    min_margin = np.inf
+    violations: list[tuple[int, int]] = []
+    for k in range(pmf.support_size):
+        price = float(pmf.prices[k])
+        winners = pmf.winner_sets[k]
+        if winners.size == 0:
+            continue
+        margins = price - asking[winners]
+        worst = float(np.min(margins))
+        min_margin = min(min_margin, worst)
+        for local, margin in enumerate(margins):
+            if margin < -1e-9:
+                violations.append((k, int(winners[local])))
+    if not np.isfinite(min_margin):
+        min_margin = 0.0
+    return RationalityReport(
+        satisfied=not violations,
+        min_margin=float(min_margin),
+        violations=tuple(violations),
+    )

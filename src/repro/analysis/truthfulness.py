@@ -1,0 +1,174 @@
+"""Empirical γ-truthfulness audit (Theorem 3).
+
+Theorem 3 proves that no worker can improve her *exact expected* utility
+by more than γ = ε·Δc by deviating from her truthful bid — in either the
+price or the bundle.  Because our mechanisms expose exact outcome PMFs,
+the audit computes expected utilities in closed form: for a candidate
+deviation it rebuilds the instance with the deviated bid, recomputes the
+PMF, and compares ``E[u_i]`` against the truthful run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.auction.bids import Bid
+from repro.auction.instance import AuctionInstance
+from repro.auction.mechanism import Mechanism
+from repro.exceptions import EmptyPriceSetError, InfeasibleError
+from repro.mechanisms.properties import truthfulness_gap
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["DeviationOutcome", "TruthfulnessReport", "truthfulness_audit", "price_deviations"]
+
+
+@dataclass(frozen=True)
+class DeviationOutcome:
+    """One deviation's exact payoff comparison.
+
+    Attributes
+    ----------
+    bid:
+        The deviating bid evaluated.
+    expected_utility:
+        The worker's exact expected utility under this bid (her true cost
+        is still the truthful one).
+    gain:
+        ``expected_utility − truthful_expected_utility``.
+    """
+
+    bid: Bid
+    expected_utility: float
+    gain: float
+
+
+@dataclass(frozen=True)
+class TruthfulnessReport:
+    """Result of auditing one worker's deviation space.
+
+    Attributes
+    ----------
+    worker:
+        The audited worker.
+    truthful_utility:
+        Exact expected utility of bidding truthfully.
+    deviations:
+        Each evaluated deviation's outcome.
+    gamma:
+        The theoretical gap γ = ε·Δc the gains must respect.
+    """
+
+    worker: int
+    truthful_utility: float
+    deviations: tuple[DeviationOutcome, ...]
+    gamma: float
+
+    @property
+    def max_gain(self) -> float:
+        """Largest expected-utility gain any evaluated deviation achieved."""
+        if not self.deviations:
+            return 0.0
+        return max(d.gain for d in self.deviations)
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether every evaluated deviation respects the γ bound."""
+        return self.max_gain <= self.gamma + 1e-9
+
+
+def price_deviations(
+    true_cost: float,
+    c_min: float,
+    c_max: float,
+    *,
+    n_deviations: int = 10,
+    seed: RngLike = None,
+) -> list[float]:
+    """A spread of deviating prices across the cost lattice range."""
+    rng = ensure_rng(seed)
+    grid = np.linspace(c_min, c_max, n_deviations)
+    jitter = rng.uniform(-0.05, 0.05, size=grid.shape) * (c_max - c_min) / n_deviations
+    prices = np.clip(grid + jitter, c_min, c_max)
+    return [float(p) for p in prices if not np.isclose(p, true_cost)]
+
+
+def truthfulness_audit(
+    mechanism: Mechanism,
+    instance: AuctionInstance,
+    worker: int,
+    true_cost: float,
+    epsilon: float,
+    *,
+    deviation_prices: Sequence[float] | None = None,
+    deviation_bundles: Iterable[Iterable[int]] = (),
+    seed: RngLike = None,
+) -> TruthfulnessReport:
+    """Audit Theorem 3 for one worker on one instance.
+
+    Parameters
+    ----------
+    mechanism:
+        The mechanism under audit (must expose exact PMFs).
+    instance:
+        The instance with the worker's *truthful* bid in place.
+    worker:
+        Index of the audited worker.
+    true_cost:
+        The worker's true cost for her truthful bundle (utility is always
+        evaluated against this, whatever she bids).
+    epsilon:
+        The privacy budget the mechanism ran with (sets γ).
+    deviation_prices:
+        Misreported prices to try (keeping the truthful bundle); defaults
+        to a 10-point spread over ``[c_min, c_max]``.
+    deviation_bundles:
+        Misreported bundles to try (keeping the truthful price).
+    seed:
+        Randomness for the default deviation grid.
+
+    Notes
+    -----
+    Deviations that make the instance infeasible are skipped: an
+    infeasible-for-every-price market never runs, so no utility flows
+    either way.  Bundle deviations assume the worker, if she wins, is
+    still paid the clearing price but must execute the *bid* bundle; her
+    cost is conservatively kept at ``true_cost`` (the paper's model, where
+    misreporting a bundle does not lower the execution cost).
+    """
+    truthful_bid = instance.bids[worker]
+    truthful_pmf = mechanism.price_pmf(instance)
+    truthful_utility = truthful_pmf.expected_utility(worker, true_cost)
+
+    if deviation_prices is None:
+        deviation_prices = price_deviations(
+            true_cost, instance.c_min, instance.c_max, seed=seed
+        )
+
+    candidates: list[Bid] = [truthful_bid.with_price(p) for p in deviation_prices]
+    candidates.extend(Bid(b, truthful_bid.price) for b in deviation_bundles)
+
+    outcomes: list[DeviationOutcome] = []
+    for bid in candidates:
+        deviated = instance.replace_bid(worker, bid)
+        try:
+            pmf = mechanism.price_pmf(deviated)
+        except (EmptyPriceSetError, InfeasibleError):
+            continue
+        expected = pmf.expected_utility(worker, true_cost)
+        outcomes.append(
+            DeviationOutcome(
+                bid=bid,
+                expected_utility=expected,
+                gain=expected - truthful_utility,
+            )
+        )
+
+    return TruthfulnessReport(
+        worker=int(worker),
+        truthful_utility=truthful_utility,
+        deviations=tuple(outcomes),
+        gamma=truthfulness_gap(epsilon, instance.c_min, instance.c_max),
+    )

@@ -1,0 +1,32 @@
+"""Reverse combinatorial auction model (paper Section III).
+
+This package defines the data model shared by every mechanism in the
+library:
+
+* :class:`~repro.auction.bids.Bid` / :class:`~repro.auction.bids.BidProfile`
+  — a worker's declared bundle and price (Definition 2 covers the truthful
+  special case).
+* :class:`~repro.auction.instance.AuctionInstance` — one complete hSRC
+  auction input: bids, the quality matrix ``q``, the per-task coverage
+  demands ``Q``, the candidate price grid, and the public cost bounds
+  ``c_min``/``c_max`` (Definition 1 and Section IV).
+* :class:`~repro.auction.outcome.AuctionOutcome` — winners, the single
+  clearing price, per-worker payments, and derived quantities such as the
+  platform's total payment (Definitions 3–4).
+* :class:`~repro.auction.mechanism.Mechanism` — the abstract interface all
+  mechanisms (DP-hSRC, baseline, optimal) implement.
+"""
+
+from repro.auction.bids import Bid, BidProfile
+from repro.auction.instance import AuctionInstance
+from repro.auction.outcome import AuctionOutcome
+from repro.auction.mechanism import Mechanism, PricePMF
+
+__all__ = [
+    "Bid",
+    "BidProfile",
+    "AuctionInstance",
+    "AuctionOutcome",
+    "Mechanism",
+    "PricePMF",
+]

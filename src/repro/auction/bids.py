@@ -1,0 +1,144 @@
+"""Bids and bid profiles for the hSRC auction (paper Definitions 1–2).
+
+A worker's bid ``b_i = (Γ_i, ρ_i)`` consists of the bundle of tasks she
+offers to execute and her asking price.  The *truthful* bid is the special
+case where the bundle is her actually-interested bundle and the price is
+her true cost (Definition 2); the library never assumes truthfulness — the
+analysis package empirically audits it instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["Bid", "BidProfile"]
+
+
+@dataclass(frozen=True, slots=True)
+class Bid:
+    """A single worker's sealed bid ``(Γ_i, ρ_i)``.
+
+    Attributes
+    ----------
+    bundle:
+        The set of task indices the worker offers to execute.  Stored as a
+        ``frozenset`` so bids are hashable and immutable.
+    price:
+        The worker's asking price ``ρ_i`` for executing the whole bundle.
+    """
+
+    bundle: frozenset[int]
+    price: float
+
+    def __init__(self, bundle: Iterable[int], price: float) -> None:
+        bundle_set = frozenset(int(j) for j in bundle)
+        if any(j < 0 for j in bundle_set):
+            raise ValidationError("bundle task indices must be non-negative")
+        if not bundle_set:
+            raise ValidationError("a bid must name at least one task")
+        price = float(price)
+        if not np.isfinite(price) or price < 0:
+            raise ValidationError(f"bid price must be finite and non-negative, got {price!r}")
+        object.__setattr__(self, "bundle", bundle_set)
+        object.__setattr__(self, "price", price)
+
+    def with_price(self, price: float) -> "Bid":
+        """Return a copy of this bid with a different asking price."""
+        return Bid(self.bundle, price)
+
+    def with_bundle(self, bundle: Iterable[int]) -> "Bid":
+        """Return a copy of this bid with a different bundle."""
+        return Bid(bundle, self.price)
+
+    def covers(self, task: int) -> bool:
+        """Whether this bid's bundle contains task index ``task``."""
+        return int(task) in self.bundle
+
+
+class BidProfile:
+    """An ordered collection of all workers' bids ``b = (b_1, ..., b_N)``.
+
+    The profile is immutable; "changing one worker's bid" (the neighboring
+    relation of differential privacy, Definition 7) is expressed with
+    :meth:`replace`, which returns a new profile.
+    """
+
+    __slots__ = ("_bids",)
+
+    def __init__(self, bids: Sequence[Bid]) -> None:
+        bids = tuple(bids)
+        if not bids:
+            raise ValidationError("a bid profile must contain at least one bid")
+        for i, bid in enumerate(bids):
+            if not isinstance(bid, Bid):
+                raise ValidationError(f"element {i} of the bid profile is not a Bid")
+        self._bids = bids
+
+    def __len__(self) -> int:
+        return len(self._bids)
+
+    def __iter__(self) -> Iterator[Bid]:
+        return iter(self._bids)
+
+    def __getitem__(self, index: int) -> Bid:
+        return self._bids[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BidProfile):
+            return NotImplemented
+        return self._bids == other._bids
+
+    def __hash__(self) -> int:
+        return hash(self._bids)
+
+    def __repr__(self) -> str:
+        return f"BidProfile(n_workers={len(self)})"
+
+    @property
+    def prices(self) -> np.ndarray:
+        """Vector of asking prices ``(ρ_1, ..., ρ_N)``."""
+        return np.array([bid.price for bid in self._bids], dtype=float)
+
+    def replace(self, worker: int, bid: Bid) -> "BidProfile":
+        """Return a profile equal to this one except worker ``worker``'s bid.
+
+        This is exactly the neighboring-profile relation used by the
+        differential-privacy definition (two profiles differing in only one
+        bid).
+        """
+        if not 0 <= worker < len(self._bids):
+            raise ValidationError(
+                f"worker index {worker} out of range for {len(self._bids)} workers"
+            )
+        bids = list(self._bids)
+        bids[worker] = bid
+        return BidProfile(bids)
+
+    def bundle_mask(self, n_tasks: int) -> np.ndarray:
+        """Boolean ``(N, K)`` matrix: ``mask[i, j]`` iff task j in bundle i.
+
+        Raises if any bid names a task index ``>= n_tasks``.
+        """
+        mask = np.zeros((len(self._bids), n_tasks), dtype=bool)
+        for i, bid in enumerate(self._bids):
+            for j in bid.bundle:
+                if j >= n_tasks:
+                    raise ValidationError(
+                        f"bid {i} names task {j} but the instance has only "
+                        f"{n_tasks} tasks"
+                    )
+                mask[i, j] = True
+        return mask
+
+    def max_price(self) -> float:
+        """Largest asking price in the profile."""
+        return max(bid.price for bid in self._bids)
+
+    def min_price(self) -> float:
+        """Smallest asking price in the profile."""
+        return min(bid.price for bid in self._bids)

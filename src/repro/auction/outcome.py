@@ -1,0 +1,111 @@
+"""Auction outcomes: winners, the clearing price, payments, utilities.
+
+Captures Definitions 3 (worker utility) and 4 (platform total payment).
+The library's mechanisms are single-price (Section IV), so the payment to
+every winner is the sampled clearing price; :class:`AuctionOutcome` still
+stores a full payment vector so alternative payment rules can reuse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils import validation
+
+__all__ = ["AuctionOutcome"]
+
+
+@dataclass(frozen=True)
+class AuctionOutcome:
+    """The result of running a mechanism on an auction instance.
+
+    Attributes
+    ----------
+    winners:
+        Sorted ``(|S|,)`` integer array of winning worker indices.
+    price:
+        The single clearing price ``p`` sampled by the mechanism.
+    n_workers:
+        Total number of workers in the instance (losers receive zero
+        payment and zero utility).
+    payments:
+        ``(N,)`` payment vector; winners receive ``price``, losers 0.
+        Computed automatically when not supplied.
+    """
+
+    winners: np.ndarray
+    price: float
+    n_workers: int
+    payments: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        winners = np.array(sorted(int(i) for i in np.asarray(self.winners).ravel()), dtype=int)
+        if winners.size and (winners[0] < 0 or winners[-1] >= self.n_workers):
+            raise ValidationError("winner indices out of range")
+        if winners.size != np.unique(winners).size:
+            raise ValidationError("winner indices must be unique")
+        price = float(self.price)
+        if not np.isfinite(price) or price < 0:
+            raise ValidationError(f"price must be finite and non-negative, got {price!r}")
+
+        if self.payments is None:
+            payments = np.zeros(self.n_workers, dtype=float)
+            payments[winners] = price
+        else:
+            payments = validation.as_float_array(self.payments, "payments", ndim=1)
+            if payments.shape[0] != self.n_workers:
+                raise ValidationError(
+                    f"payments has length {payments.shape[0]} but the auction "
+                    f"has {self.n_workers} workers"
+                )
+        winners.setflags(write=False)
+        payments.setflags(write=False)
+        object.__setattr__(self, "winners", winners)
+        object.__setattr__(self, "price", price)
+        object.__setattr__(self, "payments", payments)
+
+    @cached_property
+    def winner_set(self) -> frozenset[int]:
+        """Winning worker indices as a frozenset ``S``."""
+        return frozenset(int(i) for i in self.winners)
+
+    @property
+    def n_winners(self) -> int:
+        """Cardinality ``|S|`` of the winner set."""
+        return int(self.winners.size)
+
+    @property
+    def total_payment(self) -> float:
+        """Platform's total payment ``R(p, S) = Σ_{i∈S} p_i`` (Definition 4)."""
+        return float(np.sum(self.payments))
+
+    def is_winner(self, worker: int) -> bool:
+        """Whether worker ``worker`` is in the winner set."""
+        return int(worker) in self.winner_set
+
+    def utility(self, worker: int, cost: float) -> float:
+        """Worker ``worker``'s utility given her true cost (Definition 3).
+
+        ``p_i − c_i`` for winners, 0 for losers.  ``cost`` is the worker's
+        *true* cost for her bundle, which may differ from her bid.
+        """
+        if self.is_winner(worker):
+            return float(self.payments[int(worker)] - cost)
+        return 0.0
+
+    def utilities(self, costs: np.ndarray) -> np.ndarray:
+        """Vector of utilities for all workers given their true costs."""
+        costs = validation.as_float_array(costs, "costs", ndim=1)
+        if costs.shape[0] != self.n_workers:
+            raise ValidationError(
+                f"costs has length {costs.shape[0]} but the auction has "
+                f"{self.n_workers} workers"
+            )
+        util = np.zeros(self.n_workers, dtype=float)
+        idx = self.winners
+        util[idx] = self.payments[idx] - costs[idx]
+        return util

@@ -1,0 +1,121 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro figure1            # full-scale Figure 1 series
+    python -m repro table2 --fast      # CI-sized Table II
+    python -m repro all --fast         # everything, quickly
+    python -m repro list               # available experiments
+
+Each experiment prints the numeric series the corresponding paper
+artifact plots; EXPERIMENTS.md records a reference run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Sequence
+
+from repro.experiments import EXPERIMENTS
+
+__all__ = ["main", "run_experiment"]
+
+
+def run_experiment(name: str, *, fast: bool = False, seed: int = 0):
+    """Import and run one experiment module by registry name."""
+    if name not in EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+        )
+    module = importlib.import_module(f"repro.experiments.{name}")
+    return module.run(fast=fast, seed=seed)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the evaluation of 'Enabling Privacy-Preserving "
+            "Incentives for Mobile Crowd Sensing Systems' (ICDCS 2016)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'all', 'report' (writes reproduction_report.md), or 'list'",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="run a shrunken sweep (seconds instead of minutes/hours)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    parser.add_argument(
+        "--format",
+        choices=("table", "csv", "json"),
+        default="table",
+        help="output format for experiment results (default: table)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the result there instead of stdout (single experiment only)",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="append an ASCII chart after each chartable result (table format only)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    if args.experiment == "report":
+        from repro.experiments.report import write_report
+
+        out = write_report("reproduction_report.md", fast=args.fast, seed=args.seed)
+        print(f"wrote {out}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.output is not None and len(names) != 1:
+        print("error: --output requires a single experiment", file=sys.stderr)
+        return 2
+    from repro.experiments.export import render
+
+    try:
+        for name in names:
+            result = run_experiment(name, fast=args.fast, seed=args.seed)
+            text = render(result, args.format)
+            if args.plot and args.format == "table":
+                from repro.experiments.export import plot
+
+                chart = plot(result)
+                if chart is not None:
+                    text += "\n\n" + chart
+            if args.output is not None:
+                from pathlib import Path
+
+                Path(args.output).write_text(text + "\n", encoding="utf-8")
+                print(f"wrote {args.output}")
+            else:
+                print(text)
+                print()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Weighted set-multicover optimization substrate.
+
+The paper's TPM problem, for a fixed price ``p``, is a *minimum-cardinality
+weighted set multicover*: choose the fewest workers so that, for every
+task ``j``, the selected workers' qualities sum to at least the demand
+``Q_j`` (Section IV).  Theorem 1 shows it is NP-hard.  This package
+implements the problem model and three solvers:
+
+* :func:`~repro.coverage.greedy.greedy_cover` — the truncated-marginal-gain
+  greedy used inside Algorithm 1 (lines 8–13), with Lemma 2's ``2·β·H_m``
+  approximation guarantee.
+* :func:`~repro.coverage.exact.solve_exact` — certified-optimal solving,
+  either via our own branch-and-bound (LP-relaxation bounds + greedy
+  incumbents) or via the HiGHS MILP backend (`scipy.optimize.milp`), which
+  substitutes for the paper's GUROBI.
+* :func:`~repro.coverage.lp.lp_lower_bound` — the LP relaxation used for
+  bounding.
+
+All solvers operate on :class:`~repro.coverage.problem.CoverProblem`,
+which is independent of auctions: gains are any non-negative matrix and
+demands any non-negative vector.
+"""
+
+from repro.coverage.problem import CoverProblem
+from repro.coverage.greedy import GreedyResult, greedy_cover, static_order_cover
+from repro.coverage.exact import ExactResult, solve_exact
+from repro.coverage.rounding import RoundingResult, randomized_rounding_cover
+from repro.coverage.lp import lp_lower_bound
+from repro.coverage.simplex import SimplexSolution, covering_lp_simplex
+from repro.coverage.bounds import (
+    greedy_approximation_factor,
+    harmonic_number,
+    max_row_gain,
+    multiplicity,
+)
+
+__all__ = [
+    "CoverProblem",
+    "GreedyResult",
+    "greedy_cover",
+    "static_order_cover",
+    "ExactResult",
+    "solve_exact",
+    "RoundingResult",
+    "randomized_rounding_cover",
+    "lp_lower_bound",
+    "SimplexSolution",
+    "covering_lp_simplex",
+    "greedy_approximation_factor",
+    "harmonic_number",
+    "max_row_gain",
+    "multiplicity",
+]

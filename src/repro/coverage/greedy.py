@@ -1,0 +1,178 @@
+"""Greedy set-multicover solvers.
+
+:func:`greedy_cover` is the inner loop of the paper's Algorithm 1 (lines
+8–13): repeatedly select the item with the largest *truncated marginal
+gain* ``Σ_j min(Q'_j, q_ij)`` until every residual demand is zero.  Lemma
+2 (borrowed from Jin et al., MobiHoc 2015, Theorem 5) bounds its cover
+size by ``2·β·H_m`` times the optimum.
+
+:func:`static_order_cover` is the §VII-A baseline's selection rule: items
+are taken in a *fixed* order (descending static gain ``Σ_j q_ij``) until
+feasibility, ignoring how much of each item's gain is already wasted on
+satisfied constraints.  The ablation benchmark contrasts the two rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.coverage.problem import CoverProblem
+from repro.exceptions import InfeasibleError
+
+__all__ = ["GreedyResult", "greedy_cover", "static_order_cover"]
+
+#: Demands below this tolerance count as satisfied, guarding against
+#: floating-point residue in the ``Q' −= min(Q', q)`` updates.
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class GreedyResult:
+    """Outcome of a greedy covering run.
+
+    Attributes
+    ----------
+    selection:
+        Sorted array of selected item indices.
+    order:
+        Item indices in the order they were selected (useful for
+        diagnosing the greedy trajectory).
+    """
+
+    selection: np.ndarray
+    order: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of selected items."""
+        return int(self.selection.size)
+
+
+def greedy_cover(problem: CoverProblem) -> GreedyResult:
+    """Adaptive truncated-gain greedy (Algorithm 1, lines 8–13).
+
+    At every step selects ``argmax_i Σ_j min(Q'_j, q_ij)`` among the
+    not-yet-selected items, subtracts the truncated gains from the
+    residual demands, and stops when all residuals hit zero.
+
+    Raises
+    ------
+    InfeasibleError
+        If demands remain positive after all items are exhausted, i.e.
+        the instance is not coverable.
+
+    Notes
+    -----
+    Implemented with CELF-style *lazy* evaluation: because residual
+    demands only shrink, every item's truncated gain is non-increasing
+    over the run, so a stale score is a valid upper bound.  Scores live
+    in a max-heap; each step re-evaluates candidates from the top until
+    the freshest one still dominates the next stale bound — usually one
+    or two O(K) evaluations instead of a full O(M·K) sweep, which is the
+    difference between seconds and minutes at the paper's setting-III/IV
+    scales.
+
+    Tie-breaking is implementation-defined (the paper's ``argmax`` is
+    silent on ties, which are common late in a run when many items fully
+    cover the small residual): the lazy order prefers the item whose
+    *previous* score was larger, then the lower index.  Any tie-break
+    yields the same cover size bound (Lemma 2) and the run remains fully
+    deterministic.
+    """
+    import heapq
+
+    residual = problem.demands.copy()
+    gains = problem.gains
+    active_idx = np.flatnonzero(residual > _TOL)
+    if active_idx.size == 0:
+        return GreedyResult(selection=np.array([], dtype=int), order=())
+
+    def fresh_score(item: int) -> float:
+        return float(
+            np.minimum(gains[item, active_idx], residual[active_idx]).sum()
+        )
+
+    # Initial exact scores for every item (one full sweep).
+    initial = np.minimum(
+        gains[:, active_idx], residual[active_idx]
+    ).sum(axis=1)
+    heap = [
+        (-float(score), int(item))
+        for item, score in enumerate(initial)
+        if score > _TOL
+    ]
+    heapq.heapify(heap)
+
+    order: list[int] = []
+    while np.any(residual[active_idx] > _TOL):
+        # Pop until the top's *fresh* score still beats the next stale bound.
+        while True:
+            if not heap:
+                raise InfeasibleError(
+                    "greedy cover exhausted all useful items with "
+                    f"{int(np.count_nonzero(residual > _TOL))} demands still unmet"
+                )
+            neg_stale, item = heapq.heappop(heap)
+            score = fresh_score(item)
+            if score <= _TOL:
+                continue  # gains only shrink: this item is dead forever
+            # The stale bound of the next candidate caps its fresh score.
+            if heap and score < -heap[0][0] - 1e-15:
+                heapq.heappush(heap, (-score, item))
+                continue
+            break
+
+        order.append(item)
+        residual[active_idx] -= np.minimum(
+            gains[item, active_idx], residual[active_idx]
+        )
+        # Compact the active set when tasks become satisfied.
+        still = residual[active_idx] > _TOL
+        if not np.all(still):
+            active_idx = active_idx[still]
+
+    selection = np.array(sorted(order), dtype=int)
+    return GreedyResult(selection=selection, order=tuple(order))
+
+
+def static_order_cover(
+    problem: CoverProblem, order: Sequence[int] | None = None
+) -> GreedyResult:
+    """Cover by taking items in a fixed order until feasible (§VII-A baseline).
+
+    Parameters
+    ----------
+    problem:
+        The covering instance.
+    order:
+        The order in which to take items.  Defaults to descending *static*
+        gain ``Σ_j q_ij`` (the baseline auction's rule), with ties broken
+        by item index for determinism.
+
+    Raises
+    ------
+    InfeasibleError
+        If the full order is exhausted with demands still unmet.
+    """
+    if order is None:
+        static_gain = problem.gains.sum(axis=1)
+        # argsort of negated gains: descending gain, index-ascending ties.
+        order = np.argsort(-static_gain, kind="stable")
+    order_arr = np.asarray(order, dtype=int)
+
+    residual = problem.demands.copy()
+    taken: list[int] = []
+    for item in order_arr:
+        if np.all(residual <= _TOL):
+            break
+        item = int(item)
+        taken.append(item)
+        residual -= np.minimum(residual, problem.gains[item])
+    if not np.all(residual <= _TOL):
+        raise InfeasibleError(
+            "static-order cover exhausted the order with demands still unmet"
+        )
+    return GreedyResult(selection=np.array(sorted(taken), dtype=int), order=tuple(taken))

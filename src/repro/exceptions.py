@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` from
+misuse of the standard library, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "InfeasibleError",
+    "EmptyPriceSetError",
+    "SolverError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input failed validation (wrong shape, range, or inconsistency).
+
+    Inherits :class:`ValueError` so idiomatic ``except ValueError`` call
+    sites keep working.
+    """
+
+
+class InfeasibleError(ReproError):
+    """A covering or auction problem admits no feasible solution.
+
+    Raised, for example, when even the full worker population cannot
+    satisfy every task's error-bound constraint, or when a fixed price
+    leaves too few affordable workers to cover the tasks.
+    """
+
+
+class EmptyPriceSetError(InfeasibleError):
+    """No price in the candidate grid is feasible for the instance."""
+
+
+class SolverError(ReproError):
+    """An exact optimization backend failed to produce a certified optimum."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative estimation procedure failed to converge."""

@@ -1,0 +1,56 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment module exposes
+
+``run(*, fast: bool = False, seed: int = 0, **knobs) -> ExperimentResult``
+
+returning the numeric series the corresponding figure plots (or table
+prints).  ``fast=True`` shrinks the sweep so the full harness runs in CI
+time; the defaults match the paper's Table I scales.
+
+| Experiment | Paper artifact | Module |
+|---|---|---|
+| figure1 | total payment vs N (setting I) | :mod:`~repro.experiments.figure1` |
+| figure2 | total payment vs K (setting II) | :mod:`~repro.experiments.figure2` |
+| figure3 | total payment vs N (setting III) | :mod:`~repro.experiments.figure3` |
+| figure4 | total payment vs K (setting IV) | :mod:`~repro.experiments.figure4` |
+| figure5 | payment / privacy-leakage trade-off vs ε | :mod:`~repro.experiments.figure5` |
+| table1 | simulation settings | :mod:`~repro.experiments.table1` |
+| table2 | execution time DP-hSRC vs optimal | :mod:`~repro.experiments.table2` |
+| ablation_greedy | adaptive vs static winner selection | :mod:`~repro.experiments.ablation_greedy` |
+| ablation_grid | price-grid resolution sweep | :mod:`~repro.experiments.ablation_grid` |
+| ablation_solver | MILP vs own branch-and-bound | :mod:`~repro.experiments.ablation_solver` |
+| ablation_sensitivity | exponential-mechanism denominator sweep | :mod:`~repro.experiments.ablation_sensitivity` |
+| price_of_privacy | DP-hSRC vs non-private threshold auction | :mod:`~repro.experiments.price_of_privacy` |
+| dp_variants | exponential mechanism vs permute-and-flip | :mod:`~repro.experiments.dp_variants` |
+| approximation | measured ratio vs Theorem 6 envelope | :mod:`~repro.experiments.approximation` |
+| accuracy | end-to-end label accuracy vs targets | :mod:`~repro.experiments.accuracy` |
+| geo_workload | route-structured vs uniform bundles | :mod:`~repro.experiments.geo_workload` |
+| budget_schedule | campaign schedules under a total ε budget | :mod:`~repro.experiments.budget_schedule` |
+"""
+
+from repro.experiments.runner import ExperimentResult, payment_sweep_point
+
+__all__ = ["ExperimentResult", "payment_sweep_point", "EXPERIMENTS"]
+
+#: Registry mapping CLI names to experiment modules (filled lazily by
+#: :func:`repro.cli.main` to avoid importing every experiment eagerly).
+EXPERIMENTS = (
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "table1",
+    "table2",
+    "ablation_greedy",
+    "ablation_grid",
+    "ablation_solver",
+    "ablation_sensitivity",
+    "price_of_privacy",
+    "geo_workload",
+    "budget_schedule",
+    "dp_variants",
+    "approximation",
+    "accuracy",
+)

@@ -1,0 +1,85 @@
+"""Ablation — price-grid resolution vs payment and leakage.
+
+Theorem 6's additive term grows only logarithmically in ``|P|``, which
+predicts that refining the price grid barely hurts (and the better price
+resolution can help).  This ablation sweeps the grid step on one frozen
+instance and reports the expected payment and the empirical privacy
+leakage at each resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.auction.instance import AuctionInstance
+from repro.experiments.runner import ExperimentResult
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+from repro.privacy.leakage import pmf_kl_divergence
+from repro.utils.rng import ensure_rng
+from repro.workloads.generator import generate_instance, matched_neighbor
+from repro.workloads.settings import SETTING_I
+
+__all__ = ["run", "GRID_STEPS"]
+
+#: Grid spacings swept by the ablation (the paper fixes 0.1).
+GRID_STEPS: tuple[float, ...] = (2.0, 1.0, 0.5, 0.2, 0.1, 0.05)
+
+
+def _with_grid(instance: AuctionInstance, low: float, high: float, step: float) -> AuctionInstance:
+    n_points = int(round((high - low) / step)) + 1
+    grid = np.round(low + step * np.arange(n_points), 10)
+    return AuctionInstance(
+        bids=instance.bids,
+        quality=instance.quality,
+        demands=instance.demands,
+        price_grid=grid,
+        c_min=instance.c_min,
+        c_max=instance.c_max,
+    )
+
+
+def run(
+    *,
+    fast: bool = False,
+    seed: int = 0,
+    steps: Sequence[float] = GRID_STEPS,
+) -> ExperimentResult:
+    """Sweep the grid step on one frozen setting-I instance."""
+    if fast:
+        steps = tuple(steps)[:3]
+    rng = ensure_rng(seed)
+    instance_rng, neighbor_rng = rng.spawn(2)
+    instance, _pool = generate_instance(SETTING_I, instance_rng)
+    low, high = SETTING_I.price_range
+    auction = DPHSRCAuction(epsilon=SETTING_I.epsilon)
+
+    rows = []
+    for step in steps:
+        coarse = _with_grid(instance, low, high, float(step))
+        pmf = auction.price_pmf(coarse)
+        worker = int(neighbor_rng.integers(coarse.n_workers))
+        neighbor = matched_neighbor(coarse, SETTING_I, worker, seed=neighbor_rng)
+        leakage = pmf_kl_divergence(pmf, auction.price_pmf(neighbor))
+        rows.append(
+            (
+                float(step),
+                pmf.support_size,
+                round(pmf.expected_total_payment(), 1),
+                round(pmf.min_total_payment(), 1),
+                round(leakage, 6),
+            )
+        )
+
+    return ExperimentResult(
+        name="ablation_grid",
+        title="Ablation: price-grid resolution (setting I instance, eps=0.1)",
+        headers=["grid step", "|P|", "E[payment]", "min payment", "KL leakage"],
+        rows=rows,
+        notes=(
+            "Theorem 6 predicts only logarithmic degradation in |P|; the "
+            "min-payment column shows the resolution benefit of finer grids",
+        ),
+        precision=6,
+    )

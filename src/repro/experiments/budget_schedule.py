@@ -1,0 +1,81 @@
+"""Extension experiment — campaign scheduling under a total privacy budget.
+
+Combines Figure 5's payment(ε) curve with composition accounting: for a
+fixed total budget ε_total against any worker's bid, how many auction
+rounds can a platform run, and what does each schedule cost?  Basic
+composition splits the budget linearly; advanced composition (Dwork et
+al. 2010, with a δ' slack) permits a √k-scaled per-round budget that
+pays off for long campaigns.
+
+Expected shape: per-round expected payment rises as the budget is
+divided among more rounds; for large round counts the advanced-accounting
+rows show strictly larger per-round ε — and hence lower payment — than
+the basic rows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import ExperimentResult
+from repro.mcs.budget_planner import plan_campaign
+from repro.utils.rng import ensure_rng
+from repro.workloads.generator import generate_instance
+from repro.workloads.settings import SETTING_I
+
+__all__ = ["run"]
+
+ROUND_OPTIONS: tuple[int, ...] = (1, 5, 10, 50, 200, 1000)
+
+
+def run(
+    *,
+    fast: bool = False,
+    seed: int = 0,
+    total_epsilon: float = 5.0,
+    delta_slack: float = 1e-6,
+    round_options: Sequence[int] = ROUND_OPTIONS,
+) -> ExperimentResult:
+    """Evaluate campaign schedules on a fresh setting-I market."""
+    if fast:
+        round_options = tuple(round_options)[:4]
+    rng = ensure_rng(seed)
+    instance, _pool = generate_instance(SETTING_I, rng, n_workers=100)
+
+    plans = plan_campaign(
+        instance,
+        total_epsilon=total_epsilon,
+        round_options=round_options,
+        delta_slack=delta_slack,
+    )
+    rows = [
+        (
+            plan.n_rounds,
+            plan.accounting,
+            round(plan.epsilon_per_round, 5),
+            round(plan.expected_payment_per_round, 1),
+            round(plan.expected_total_payment, 1),
+        )
+        for plan in plans
+    ]
+    return ExperimentResult(
+        name="budget_schedule",
+        title=(
+            f"Extension: campaign schedules under total eps={total_epsilon} "
+            f"(delta'={delta_slack})"
+        ),
+        headers=[
+            "rounds",
+            "accounting",
+            "eps per round",
+            "E[payment]/round",
+            "E[total payment]",
+        ],
+        rows=rows,
+        notes=(
+            "per-round payments from the exact Figure 5 payment(eps) curve on "
+            "one setting-I instance; advanced accounting accepts a delta' "
+            "failure probability in exchange for sqrt(k) budget scaling",
+        ),
+        precision=6,
+    )

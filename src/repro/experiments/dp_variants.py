@@ -1,0 +1,81 @@
+"""Extension experiment — exponential mechanism vs permute-and-flip.
+
+The paper's price stage (2016) uses the exponential mechanism; the
+permute-and-flip mechanism (NeurIPS 2020) is ε-DP with stochastically
+dominating utility.  This experiment swaps the price stage and measures
+the expected-total-payment improvement across the ε sweep — quantifying
+how much a modern private selector buys the platform for free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentResult
+from repro.mechanisms.dp_hsrc import DPHSRCAuction, payment_score_sensitivity, reweight_pmf
+from repro.privacy.selection import permute_and_flip_sample
+from repro.utils.rng import ensure_rng
+from repro.workloads.generator import generate_instance
+from repro.workloads.settings import SETTING_I
+
+__all__ = ["run"]
+
+EPSILONS: tuple[float, ...] = (0.1, 1.0, 5.0, 20.0, 50.0, 100.0, 500.0)
+
+
+def run(
+    *,
+    fast: bool = False,
+    seed: int = 0,
+    epsilons: Sequence[float] = EPSILONS,
+    n_samples: int = 20_000,
+) -> ExperimentResult:
+    """Compare the two private selectors' expected payments per ε."""
+    if fast:
+        epsilons = tuple(epsilons)[:3]
+        n_samples = min(n_samples, 4_000)
+    rng = ensure_rng(seed)
+    instance, _pool = generate_instance(SETTING_I, rng, n_workers=100)
+
+    # Winner schedule is ε-independent: compute once.
+    base = DPHSRCAuction(epsilon=1.0).price_pmf(instance)
+    sensitivity = payment_score_sensitivity(instance)
+    scores = -base.total_payments
+
+    rows = []
+    for eps in epsilons:
+        expo = reweight_pmf(base, instance, float(eps))
+        expo_payment = expo.expected_total_payment()
+        # Permute-and-flip expected payment by Monte Carlo over the true
+        # sampler (no PMF approximation in the measurement itself).
+        draws = np.array(
+            [
+                base.total_payments[
+                    permute_and_flip_sample(scores, float(eps), sensitivity, rng)
+                ]
+                for _ in range(int(n_samples))
+            ]
+        )
+        pf_payment = float(draws.mean())
+        rows.append(
+            (
+                float(eps),
+                round(expo_payment, 1),
+                round(pf_payment, 1),
+                round(expo_payment - pf_payment, 1),
+            )
+        )
+
+    return ExperimentResult(
+        name="dp_variants",
+        title="Extension: exponential-mechanism vs permute-and-flip price stage",
+        headers=["epsilon", "exponential E[R]", "permute-flip E[R]", "improvement"],
+        rows=rows,
+        notes=(
+            f"same winner sets, same eps-DP guarantee; permute-and-flip column is a "
+            f"{n_samples}-draw Monte-Carlo mean over the exact sampler",
+            "McKenna & Sheldon (2020) prove permute-and-flip never does worse in expectation",
+        ),
+    )

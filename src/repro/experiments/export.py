@@ -1,0 +1,117 @@
+"""Machine-readable exports of experiment results.
+
+The text tables in :class:`~repro.experiments.runner.ExperimentResult`
+are for humans; downstream plotting (the paper's figures are line plots)
+wants CSV or JSON.  These functions are pure — they never touch the
+filesystem — so the CLI layer owns all I/O.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["to_csv", "to_json", "render", "plot", "FORMATS"]
+
+#: Formats accepted by the CLI's ``--format`` option.
+FORMATS = ("table", "csv", "json")
+
+
+def _cell(value):
+    """JSON-safe cell: inf/nan become strings, numpy scalars become python."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return _cell(value.item())
+    return value
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Render a result as CSV (header row + data rows).
+
+    Notes are emitted as ``#``-prefixed comment lines before the header,
+    so the file remains self-describing while standard CSV readers can
+    skip them with ``comment='#'``.
+    """
+    buffer = io.StringIO()
+    for note in result.notes:
+        buffer.write(f"# {note}\n")
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow([_cell(value) for value in row])
+    return buffer.getvalue()
+
+
+def to_json(result: ExperimentResult) -> str:
+    """Render a result as a JSON document with full metadata."""
+    payload = {
+        "name": result.name,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [[_cell(value) for value in row] for row in result.rows],
+        "notes": list(result.notes),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render(result: ExperimentResult, fmt: str) -> str:
+    """Render a result in any supported format (see :data:`FORMATS`)."""
+    if fmt == "table":
+        return result.to_table()
+    if fmt == "csv":
+        return to_csv(result)
+    if fmt == "json":
+        return to_json(result)
+    raise ValueError(f"unknown format {fmt!r}; supported: {', '.join(FORMATS)}")
+
+
+def plot(result: ExperimentResult) -> str | None:
+    """Render an ASCII chart of the result, when it is chartable.
+
+    Chartable means: a numeric first column (the sweep axis) and at least
+    one other numeric column.  Series preference: the ``* mean`` columns
+    (the figure series); otherwise every numeric column.  Returns ``None``
+    for results with no numeric shape to draw.
+    """
+    from repro.utils.ascii_plot import ascii_chart
+
+    if not result.rows:
+        return None
+    x = [row[0] for row in result.rows]
+    if not all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in x):
+        return None
+    if any(b <= a for a, b in zip(x, x[1:])):
+        return None  # the first column is not an ascending sweep axis
+    headers = list(result.headers)
+    mean_columns = [h for h in headers[1:] if h.endswith(" mean")]
+    candidates = mean_columns or [
+        h
+        for h in headers[1:]
+        if all(
+            isinstance(row[headers.index(h)], (int, float))
+            and not isinstance(row[headers.index(h)], bool)
+            for row in result.rows
+        )
+    ]
+    series = {}
+    for header in candidates[:8]:
+        idx = headers.index(header)
+        values = [row[idx] for row in result.rows]
+        if all(isinstance(v, (int, float)) for v in values):
+            import math
+
+            if any(isinstance(v, float) and (math.isnan(v) or math.isinf(v)) for v in values):
+                continue
+            series[header] = values
+    if not series:
+        return None
+    return ascii_chart(x, series, title=result.title)

@@ -1,0 +1,50 @@
+"""Figure 1 — platform's total payment vs number of workers (setting I).
+
+Paper shape: all three curves trend downward as the worker population
+grows (more choice at low prices); the DP-hSRC payment tracks the optimal
+payment closely while the baseline sits far above both.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure_payment import run_payment_figure
+from repro.experiments.runner import ExperimentResult
+from repro.workloads.settings import SETTING_I
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    fast: bool = False,
+    seed: int = 0,
+    n_price_samples: int | None = None,
+    n_repetitions: int = 1,
+) -> ExperimentResult:
+    """Regenerate Figure 1's series.
+
+    Parameters
+    ----------
+    fast:
+        Shrinks the sweep to 3 points and 2,000 price samples for CI.
+    seed:
+        Master seed.
+    n_price_samples:
+        Override the per-point sample count.
+    """
+    sweep = SETTING_I.worker_sweep
+    assert sweep is not None
+    samples = n_price_samples if n_price_samples is not None else (2_000 if fast else 10_000)
+    values = sweep[:: max(len(sweep) // 3, 1)] if fast else sweep
+    return run_payment_figure(
+        name="figure1",
+        title="Figure 1: platform total payment vs N (setting I, K=30)",
+        setting=SETTING_I,
+        sweep_axis="workers",
+        sweep_values=values,
+        include_optimal=True,
+        n_price_samples=samples,
+        seed=seed,
+        n_repetitions=n_repetitions,
+        optimal_time_limit=5.0 if fast else 30.0,
+    )

@@ -1,0 +1,39 @@
+"""Figure 2 — platform's total payment vs number of tasks (setting II).
+
+Paper shape: payments grow with the task load (more coverage to buy);
+DP-hSRC stays close to optimal, the baseline well above both.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure_payment import run_payment_figure
+from repro.experiments.runner import ExperimentResult
+from repro.workloads.settings import SETTING_II
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    fast: bool = False,
+    seed: int = 0,
+    n_price_samples: int | None = None,
+    n_repetitions: int = 1,
+) -> ExperimentResult:
+    """Regenerate Figure 2's series (see :func:`figure1.run` for knobs)."""
+    sweep = SETTING_II.task_sweep
+    assert sweep is not None
+    samples = n_price_samples if n_price_samples is not None else (2_000 if fast else 10_000)
+    values = sweep[:: max(len(sweep) // 3, 1)] if fast else sweep
+    return run_payment_figure(
+        name="figure2",
+        title="Figure 2: platform total payment vs K (setting II, N=120)",
+        setting=SETTING_II,
+        sweep_axis="tasks",
+        sweep_values=values,
+        include_optimal=True,
+        n_price_samples=samples,
+        seed=seed,
+        n_repetitions=n_repetitions,
+        optimal_time_limit=5.0 if fast else 30.0,
+    )

@@ -1,0 +1,40 @@
+"""Figure 3 — total payment vs number of workers at scale (setting III).
+
+At N ∈ [800, 1400], K = 200 the exact benchmark is computationally out of
+reach (the paper makes the same call), so only DP-hSRC and the baseline
+run.  Paper shape: DP-hSRC's payment sits far below the baseline's across
+the whole sweep, and both drift down as workers are added.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure_payment import run_payment_figure
+from repro.experiments.runner import ExperimentResult
+from repro.workloads.settings import SETTING_III
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    fast: bool = False,
+    seed: int = 0,
+    n_price_samples: int | None = None,
+    n_repetitions: int = 1,
+) -> ExperimentResult:
+    """Regenerate Figure 3's series (see :func:`figure1.run` for knobs)."""
+    sweep = SETTING_III.worker_sweep
+    assert sweep is not None
+    samples = n_price_samples if n_price_samples is not None else (2_000 if fast else 10_000)
+    values = sweep[:: max(len(sweep) // 3, 1)] if fast else sweep
+    return run_payment_figure(
+        name="figure3",
+        title="Figure 3: platform total payment vs N (setting III, K=200)",
+        setting=SETTING_III,
+        sweep_axis="workers",
+        sweep_values=values,
+        include_optimal=False,
+        n_price_samples=samples,
+        seed=seed,
+        n_repetitions=n_repetitions,
+    )

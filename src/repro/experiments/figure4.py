@@ -1,0 +1,39 @@
+"""Figure 4 — total payment vs number of tasks at scale (setting IV).
+
+N = 1000 fixed, K swept 200–500; optimal omitted (infeasible at scale,
+as in the paper).  Paper shape: payments rise with the task load and
+DP-hSRC dominates the baseline throughout.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure_payment import run_payment_figure
+from repro.experiments.runner import ExperimentResult
+from repro.workloads.settings import SETTING_IV
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    fast: bool = False,
+    seed: int = 0,
+    n_price_samples: int | None = None,
+    n_repetitions: int = 1,
+) -> ExperimentResult:
+    """Regenerate Figure 4's series (see :func:`figure1.run` for knobs)."""
+    sweep = SETTING_IV.task_sweep
+    assert sweep is not None
+    samples = n_price_samples if n_price_samples is not None else (2_000 if fast else 10_000)
+    values = sweep[:: max(len(sweep) // 3, 1)] if fast else sweep
+    return run_payment_figure(
+        name="figure4",
+        title="Figure 4: platform total payment vs K (setting IV, N=1000)",
+        setting=SETTING_IV,
+        sweep_axis="tasks",
+        sweep_values=values,
+        include_optimal=False,
+        n_price_samples=samples,
+        seed=seed,
+        n_repetitions=n_repetitions,
+    )

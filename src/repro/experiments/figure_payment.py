@@ -1,0 +1,126 @@
+"""Shared driver for the payment-comparison figures (Figures 1–4).
+
+All four figures share one methodology (Section VII-C): per sweep point,
+draw an instance per Table I, run each mechanism, sample 10,000 clearing
+prices from its distribution, and plot mean ± std of the platform's
+total payment.  Figures 1–2 include the optimal benchmark; Figures 3–4
+drop it because the exact solves become infeasible at that scale — the
+drivers mirror that with an ``include_optimal`` switch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.auction.mechanism import Mechanism
+from repro.experiments.runner import ExperimentResult, payment_sweep_point
+from repro.mechanisms.baseline import BaselineAuction
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+from repro.mechanisms.optimal import OptimalSinglePriceMechanism
+from repro.utils.rng import ensure_rng
+from repro.workloads.settings import SimulationSetting
+
+__all__ = ["run_payment_figure"]
+
+
+def run_payment_figure(
+    name: str,
+    title: str,
+    setting: SimulationSetting,
+    *,
+    sweep_axis: str,
+    sweep_values: Sequence[int],
+    include_optimal: bool,
+    n_price_samples: int = 10_000,
+    seed: int = 0,
+    optimal_time_limit: float | None = 15.0,
+    n_repetitions: int = 1,
+) -> ExperimentResult:
+    """Run one payment-vs-population figure.
+
+    Parameters
+    ----------
+    name, title:
+        Experiment identity for the report.
+    setting:
+        The Table I setting.
+    sweep_axis:
+        ``"workers"`` or ``"tasks"`` — which population axis the figure
+        varies.
+    sweep_values:
+        The x-axis values.
+    include_optimal:
+        Whether to run the exact benchmark (Figures 1–2 yes, 3–4 no).
+    n_price_samples:
+        Clearing-price draws per mechanism per point (paper: 10,000).
+    seed:
+        Master seed; each sweep point gets an independent child stream.
+    optimal_time_limit:
+        Per-solve budget for the optimal benchmark.
+    n_repetitions:
+        Independent instances averaged per sweep point.  The paper uses 1
+        (hence its nonsmooth curves); with more, the reported mean is the
+        across-instance average and the std is the *across-instance*
+        standard deviation of the per-instance means.
+    """
+    if sweep_axis not in ("workers", "tasks"):
+        raise ValueError(f"sweep_axis must be 'workers' or 'tasks', got {sweep_axis!r}")
+
+    mechanisms: dict[str, Mechanism] = {
+        "optimal": OptimalSinglePriceMechanism(
+            time_limit_per_solve=optimal_time_limit, max_exact_solves=8
+        ),
+        "dp_hsrc": DPHSRCAuction(epsilon=setting.epsilon),
+        "baseline": BaselineAuction(epsilon=setting.epsilon),
+    }
+    if not include_optimal:
+        del mechanisms["optimal"]
+
+    headers = [sweep_axis[:-1] + " count"]
+    for mech in mechanisms:
+        headers.extend([f"{mech} mean", f"{mech} std"])
+
+    if n_repetitions < 1:
+        raise ValueError(f"n_repetitions must be positive, got {n_repetitions}")
+    rng = ensure_rng(seed)
+    point_rngs = rng.spawn(len(sweep_values))
+    rows = []
+    for value, point_rng in zip(sweep_values, point_rngs):
+        kwargs = {"n_workers": int(value)} if sweep_axis == "workers" else {"n_tasks": int(value)}
+        rep_stats = [
+            payment_sweep_point(
+                setting,
+                mechanisms,
+                n_price_samples=n_price_samples,
+                seed=rep_rng,
+                **kwargs,
+            )
+            for rep_rng in point_rng.spawn(n_repetitions)
+        ]
+        row: list = [int(value)]
+        for mech in mechanisms:
+            means = [stats[mech].mean for stats in rep_stats]
+            if n_repetitions == 1:
+                row.extend([round(means[0], 1), round(rep_stats[0][mech].std, 1)])
+            else:
+                row.extend(
+                    [
+                        round(float(np.mean(means)), 1),
+                        round(float(np.std(means)), 1),
+                    ]
+                )
+        rows.append(tuple(row))
+
+    std_meaning = (
+        "std = price-draw std within the single instance"
+        if n_repetitions == 1
+        else f"std = across-{n_repetitions}-instance std of per-instance means"
+    )
+    notes = (
+        f"setting {setting.name}: epsilon={setting.epsilon}, "
+        f"{n_price_samples} price samples per mechanism per point",
+        std_meaning,
+    )
+    return ExperimentResult(name=name, title=title, headers=headers, rows=rows, notes=notes)

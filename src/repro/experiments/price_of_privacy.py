@@ -1,0 +1,95 @@
+"""Extension experiment — the price of privacy.
+
+Compares the DP-hSRC auction against the *non-private* truthful greedy
+auction with critical payments (:mod:`repro.mechanisms.threshold_auction`),
+the mechanism family the paper's related work uses.  Two columns per
+instance:
+
+* **payment** — what each mechanism costs the platform;
+* **privacy** — the empirical max-divergence of each mechanism's outcome
+  distribution across a random neighboring bid profile.  DP-hSRC is
+  bounded by ε; the threshold auction is deterministic, so any neighbor
+  that changes its payment vector is *perfectly* distinguishable
+  (empirical ε = ∞), which is the entire motivation of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentResult
+from repro.exceptions import InfeasibleError
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+from repro.mechanisms.threshold_auction import ThresholdPaymentAuction
+from repro.privacy.leakage import pmf_max_log_ratio
+from repro.utils.rng import ensure_rng
+from repro.workloads.generator import generate_instance, matched_neighbor
+from repro.workloads.settings import SETTING_I
+
+__all__ = ["run"]
+
+
+def run(*, fast: bool = False, seed: int = 0, n_instances: int = 8) -> ExperimentResult:
+    """Compare payments and distinguishability across mechanism families."""
+    if fast:
+        n_instances = min(n_instances, 3)
+    rng = ensure_rng(seed)
+    auction = DPHSRCAuction(epsilon=SETTING_I.epsilon)
+    threshold = ThresholdPaymentAuction()
+
+    rows = []
+    for trial in range(int(n_instances)):
+        instance, _pool = generate_instance(SETTING_I, rng, n_workers=100)
+        pmf = auction.price_pmf(instance)
+        dp_payment = pmf.expected_total_payment()
+
+        try:
+            threshold_outcome = threshold.run(instance)
+            threshold_payment = threshold_outcome.total_payment
+        except InfeasibleError:
+            threshold_outcome = None
+            threshold_payment = float("nan")
+
+        worker = int(rng.integers(instance.n_workers))
+        neighbor = matched_neighbor(instance, SETTING_I, worker, seed=rng)
+        dp_distinguish = pmf_max_log_ratio(pmf, auction.price_pmf(neighbor))
+        if threshold_outcome is None:
+            # The mechanism itself failed on this market; distinguishability
+            # against a neighbor is undefined rather than infinite.
+            threshold_distinguish = float("nan")
+        else:
+            try:
+                neighbor_outcome = threshold.run(neighbor)
+                identical = np.allclose(
+                    threshold_outcome.payments, neighbor_outcome.payments
+                )
+                threshold_distinguish = 0.0 if identical else float("inf")
+            except InfeasibleError:
+                threshold_distinguish = float("inf")
+
+        rows.append(
+            (
+                trial,
+                round(dp_payment, 1),
+                round(threshold_payment, 1),
+                round(dp_distinguish, 6),
+                threshold_distinguish,
+            )
+        )
+
+    return ExperimentResult(
+        name="price_of_privacy",
+        title="Extension: DP-hSRC vs non-private threshold-payment auction",
+        headers=[
+            "trial",
+            "dp_hsrc E[payment]",
+            "threshold payment",
+            "dp empirical eps",
+            "threshold empirical eps",
+        ],
+        rows=rows,
+        notes=(
+            "threshold empirical eps is inf whenever one bid change moves its "
+            "deterministic payment vector — the leak DP-hSRC bounds by eps=0.1",
+        ),
+    )

@@ -1,0 +1,57 @@
+"""One-command reproduction report.
+
+Runs every registered experiment and writes a single markdown document
+with each experiment's table and notes — the machine-generated core of
+EXPERIMENTS.md.  Usage::
+
+    python -m repro report --fast          # CI-sized, ~minutes
+    python -m repro report                 # full Table-I scales, hours
+
+The document records the library version, the master seed, and whether
+fast mode was used, so a reference run is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import importlib
+from pathlib import Path
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.runner import ExperimentResult
+from repro.utils.timer import Timer
+
+__all__ = ["generate_report", "write_report"]
+
+
+def generate_report(*, fast: bool = False, seed: int = 0) -> str:
+    """Run all experiments and render a markdown report string."""
+    import repro
+
+    lines = [
+        "# Reproduction report",
+        "",
+        f"- library version: {repro.__version__}",
+        f"- master seed: {seed}",
+        f"- mode: {'fast (shrunken sweeps)' if fast else 'full (paper scales)'}",
+        "",
+    ]
+    for name in EXPERIMENTS:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        with Timer() as timer:
+            result: ExperimentResult = module.run(fast=fast, seed=seed)
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.to_table())
+        lines.append("```")
+        lines.append("")
+        lines.append(f"_generated in {timer.elapsed:.1f}s_")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(path: str | Path, *, fast: bool = False, seed: int = 0) -> Path:
+    """Run all experiments and write the markdown report to ``path``."""
+    path = Path(path)
+    path.write_text(generate_report(fast=fast, seed=seed), encoding="utf-8")
+    return path

@@ -1,0 +1,113 @@
+"""Shared experiment plumbing.
+
+:class:`ExperimentResult` is the uniform return type of every experiment
+module — a titled table plus free-form notes — so the CLI, the benchmark
+suite, and EXPERIMENTS.md all render results the same way.
+
+:func:`payment_sweep_point` evaluates one sweep point of the Figure 1–4
+methodology: draw an instance, compute each mechanism's exact price PMF,
+sample 10,000 clearing prices (as the paper does), and report the mean
+and standard deviation of the platform's total payment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.analysis.payment import PaymentStats, sampled_payment_stats
+from repro.auction.mechanism import Mechanism
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.tables import render_table
+from repro.workloads.generator import generate_instance
+from repro.workloads.settings import SimulationSetting
+
+__all__ = ["ExperimentResult", "payment_sweep_point"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A rendered experiment: headers + rows + context.
+
+    Attributes
+    ----------
+    name:
+        Registry name (e.g. ``"figure1"``).
+    title:
+        Human-readable description, including the paper artifact.
+    headers:
+        Column names of the result table.
+    rows:
+        Result rows (tuples aligned with ``headers``).
+    notes:
+        Free-form caveats (e.g. what ``fast`` mode skipped).
+    precision:
+        Default decimal places for float cells when rendering (individual
+        ``to_table`` calls may override).  Experiments whose quantities
+        are inherently small (Figure 5's KL leakages) raise this so the
+        rendered table does not round them to zero.
+    """
+
+    name: str
+    title: str
+    headers: Sequence[str]
+    rows: Sequence[Sequence]
+    notes: tuple[str, ...] = field(default=())
+    precision: int = 3
+
+    def to_table(self, precision: int | None = None) -> str:
+        """Render the result as an aligned plain-text table."""
+        if precision is None:
+            precision = self.precision
+        text = render_table(self.headers, self.rows, precision=precision, title=self.title)
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return text
+
+    def column(self, header: str) -> list:
+        """Extract one column by header name."""
+        idx = list(self.headers).index(header)
+        return [row[idx] for row in self.rows]
+
+
+def payment_sweep_point(
+    setting: SimulationSetting,
+    mechanisms: Mapping[str, Mechanism],
+    *,
+    n_workers: int | None = None,
+    n_tasks: int | None = None,
+    n_price_samples: int = 10_000,
+    seed: RngLike = None,
+) -> dict[str, PaymentStats]:
+    """One sweep point of the Figures 1–4 methodology.
+
+    Parameters
+    ----------
+    setting:
+        The Table I setting generating the instance.
+    mechanisms:
+        Mechanisms to evaluate, keyed by display name.  Deterministic
+        mechanisms (the optimal benchmark) get exact statistics for free
+        since their PMF is a point mass.
+    n_workers, n_tasks:
+        The sweep point's population.
+    n_price_samples:
+        Price draws per mechanism (the paper uses 10,000).
+    seed:
+        Randomness; split between instance generation and price sampling.
+
+    Returns
+    -------
+    dict
+        ``{mechanism name: PaymentStats}`` for this point.
+    """
+    rng = ensure_rng(seed)
+    instance_rng, sample_rng = rng.spawn(2)
+    instance, _pool = generate_instance(
+        setting, instance_rng, n_workers=n_workers, n_tasks=n_tasks
+    )
+    results: dict[str, PaymentStats] = {}
+    for name, mechanism in mechanisms.items():
+        pmf = mechanism.price_pmf(instance)
+        results[name] = sampled_payment_stats(pmf, n_price_samples, seed=sample_rng)
+    return results

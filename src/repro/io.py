@@ -1,0 +1,200 @@
+"""Serialization of auction artifacts to JSON.
+
+Experiments that take hours (the optimal benchmark at paper scale)
+deserve reproducible inputs: this module round-trips the library's core
+value types — :class:`~repro.auction.instance.AuctionInstance`,
+:class:`~repro.mcs.workers.WorkerPool`,
+:class:`~repro.auction.outcome.AuctionOutcome` — through plain JSON, so
+an instance can be frozen to disk, shared, and re-solved bit-for-bit.
+
+Format: one top-level object with a ``"type"`` tag and a ``"version"``
+field; arrays are nested lists; bundles are sorted index lists.  Floats
+survive exactly (JSON decimal round-trip of IEEE doubles is lossless in
+Python).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.auction.bids import Bid, BidProfile
+from repro.auction.instance import AuctionInstance
+from repro.auction.mechanism import PricePMF
+from repro.auction.outcome import AuctionOutcome
+from repro.exceptions import ValidationError
+from repro.mcs.workers import WorkerPool
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "pool_to_dict",
+    "pool_from_dict",
+    "outcome_to_dict",
+    "outcome_from_dict",
+    "pmf_to_dict",
+    "pmf_from_dict",
+    "save",
+    "load",
+]
+
+_FORMAT_VERSION = 1
+
+
+def instance_to_dict(instance: AuctionInstance) -> dict:
+    """Encode an :class:`AuctionInstance` as a JSON-ready dict."""
+    return {
+        "type": "auction_instance",
+        "version": _FORMAT_VERSION,
+        "bids": [
+            {"bundle": sorted(bid.bundle), "price": bid.price}
+            for bid in instance.bids
+        ],
+        "quality": instance.quality.tolist(),
+        "demands": instance.demands.tolist(),
+        "price_grid": instance.price_grid.tolist(),
+        "c_min": instance.c_min,
+        "c_max": instance.c_max,
+    }
+
+
+def instance_from_dict(payload: dict) -> AuctionInstance:
+    """Decode an :class:`AuctionInstance` (inverse of :func:`instance_to_dict`)."""
+    _check_type(payload, "auction_instance")
+    bids = BidProfile(
+        [Bid(entry["bundle"], entry["price"]) for entry in payload["bids"]]
+    )
+    return AuctionInstance(
+        bids=bids,
+        quality=np.asarray(payload["quality"], dtype=float),
+        demands=np.asarray(payload["demands"], dtype=float),
+        price_grid=np.asarray(payload["price_grid"], dtype=float),
+        c_min=float(payload["c_min"]),
+        c_max=float(payload["c_max"]),
+    )
+
+
+def pool_to_dict(pool: WorkerPool) -> dict:
+    """Encode a :class:`WorkerPool` (the simulator-side private truth)."""
+    return {
+        "type": "worker_pool",
+        "version": _FORMAT_VERSION,
+        "skills": pool.skills.tolist(),
+        "bundles": [sorted(bundle) for bundle in pool.bundles],
+        "costs": pool.costs.tolist(),
+    }
+
+
+def pool_from_dict(payload: dict) -> WorkerPool:
+    """Decode a :class:`WorkerPool` (inverse of :func:`pool_to_dict`)."""
+    _check_type(payload, "worker_pool")
+    return WorkerPool(
+        skills=np.asarray(payload["skills"], dtype=float),
+        bundles=tuple(frozenset(bundle) for bundle in payload["bundles"]),
+        costs=np.asarray(payload["costs"], dtype=float),
+    )
+
+
+def outcome_to_dict(outcome: AuctionOutcome) -> dict:
+    """Encode an :class:`AuctionOutcome`."""
+    return {
+        "type": "auction_outcome",
+        "version": _FORMAT_VERSION,
+        "winners": outcome.winners.tolist(),
+        "price": outcome.price,
+        "n_workers": outcome.n_workers,
+        "payments": outcome.payments.tolist(),
+    }
+
+
+def outcome_from_dict(payload: dict) -> AuctionOutcome:
+    """Decode an :class:`AuctionOutcome` (inverse of :func:`outcome_to_dict`)."""
+    _check_type(payload, "auction_outcome")
+    return AuctionOutcome(
+        winners=np.asarray(payload["winners"], dtype=int),
+        price=float(payload["price"]),
+        n_workers=int(payload["n_workers"]),
+        payments=np.asarray(payload["payments"], dtype=float),
+    )
+
+
+def pmf_to_dict(pmf: PricePMF) -> dict:
+    """Encode a :class:`PricePMF` (e.g. to cache an expensive schedule)."""
+    return {
+        "type": "price_pmf",
+        "version": _FORMAT_VERSION,
+        "prices": pmf.prices.tolist(),
+        "probabilities": pmf.probabilities.tolist(),
+        "winner_sets": [s.tolist() for s in pmf.winner_sets],
+        "n_workers": pmf.n_workers,
+    }
+
+
+def pmf_from_dict(payload: dict) -> PricePMF:
+    """Decode a :class:`PricePMF` (inverse of :func:`pmf_to_dict`)."""
+    _check_type(payload, "price_pmf")
+    return PricePMF(
+        prices=np.asarray(payload["prices"], dtype=float),
+        probabilities=np.asarray(payload["probabilities"], dtype=float),
+        winner_sets=tuple(
+            np.asarray(s, dtype=int) for s in payload["winner_sets"]
+        ),
+        n_workers=int(payload["n_workers"]),
+    )
+
+
+_ENCODERS = {
+    AuctionInstance: instance_to_dict,
+    WorkerPool: pool_to_dict,
+    AuctionOutcome: outcome_to_dict,
+    PricePMF: pmf_to_dict,
+}
+_DECODERS = {
+    "auction_instance": instance_from_dict,
+    "worker_pool": pool_from_dict,
+    "auction_outcome": outcome_from_dict,
+    "price_pmf": pmf_from_dict,
+}
+
+
+def save(obj, path: str | Path) -> Path:
+    """Serialize a supported object to a JSON file.
+
+    Supported: :class:`AuctionInstance`, :class:`WorkerPool`,
+    :class:`AuctionOutcome`, :class:`PricePMF`.
+    """
+    encoder = _ENCODERS.get(type(obj))
+    if encoder is None:
+        raise ValidationError(
+            f"cannot serialize objects of type {type(obj).__name__}; "
+            f"supported: {', '.join(c.__name__ for c in _ENCODERS)}"
+        )
+    path = Path(path)
+    path.write_text(json.dumps(encoder(obj)), encoding="utf-8")
+    return path
+
+
+def load(path: str | Path):
+    """Deserialize any object previously written by :func:`save`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise ValidationError(f"{path} does not contain a repro artifact")
+    decoder = _DECODERS.get(payload["type"])
+    if decoder is None:
+        raise ValidationError(f"unknown artifact type {payload['type']!r}")
+    return decoder(payload)
+
+
+def _check_type(payload: dict, expected: str) -> None:
+    if payload.get("type") != expected:
+        raise ValidationError(
+            f"expected a {expected!r} payload, got {payload.get('type')!r}"
+        )
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported format version {version!r} (this library reads "
+            f"version {_FORMAT_VERSION})"
+        )

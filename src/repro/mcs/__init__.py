@@ -1,0 +1,42 @@
+"""Mobile crowd sensing system simulator (paper Section III-A).
+
+Models the full MCS workflow around the auction:
+
+1. the platform announces binary classification tasks
+   (:mod:`~repro.mcs.tasks`);
+2. workers — each with a skill matrix, an interested bundle, and a true
+   cost (:mod:`~repro.mcs.workers`) — submit bids;
+3. a mechanism selects winners and a price;
+4. winners sense and submit noisy ±1 labels (:mod:`~repro.mcs.sensing`);
+5. the platform aggregates labels, pays winners, and refreshes its skill
+   record (:mod:`~repro.mcs.platform`, :mod:`~repro.mcs.skill_estimation`);
+6. :mod:`~repro.mcs.simulation` chains rounds into a longitudinal
+   simulation with privacy-budget accounting.
+"""
+
+from repro.mcs.tasks import TaskSet
+from repro.mcs.workers import WorkerPool
+from repro.mcs.sensing import assignment_mask, collect_labels
+from repro.mcs.platform import Platform, SensingRound
+from repro.mcs.skill_estimation import (
+    estimate_skills_dawid_skene,
+    estimate_skills_from_gold,
+)
+from repro.mcs.simulation import MCSSimulation, RoundRecord
+from repro.mcs.budget_planner import RoundPlan, invert_advanced_composition, plan_campaign
+
+__all__ = [
+    "TaskSet",
+    "WorkerPool",
+    "assignment_mask",
+    "collect_labels",
+    "Platform",
+    "SensingRound",
+    "estimate_skills_from_gold",
+    "estimate_skills_dawid_skene",
+    "MCSSimulation",
+    "RoundRecord",
+    "RoundPlan",
+    "plan_campaign",
+    "invert_advanced_composition",
+]

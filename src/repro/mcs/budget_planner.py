@@ -1,0 +1,159 @@
+"""Privacy-budget-aware campaign planning.
+
+A platform running DP-hSRC for ``r`` rounds against the same worker
+population spends privacy budget every round.  Given a total budget
+``ε_total``, the operator faces a real trade-off that combines two
+curves this library already computes:
+
+* **payment(ε)** — Figure 5's curve: smaller per-round ε means a flatter
+  price distribution and a higher expected payment per round;
+* **composition** — basic composition allows ``ε₀ = ε_total / r`` per
+  round; *advanced* composition (accepting a δ' failure probability)
+  allows a substantially larger ε₀ for big ``r``.
+
+:func:`plan_campaign` evaluates candidate round counts under either
+accounting rule and reports the per-round ε, the per-round and total
+expected payments — the quantitative answer to "how many rounds can I
+afford, and what will they cost me?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.auction.instance import AuctionInstance
+from repro.auction.mechanism import PricePMF
+from repro.exceptions import ValidationError
+from repro.mechanisms.dp_hsrc import DPHSRCAuction, reweight_pmf
+from repro.privacy.composition import advanced_composition_epsilon
+from repro.utils import validation
+
+__all__ = ["RoundPlan", "plan_campaign", "invert_advanced_composition"]
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """One candidate campaign schedule.
+
+    Attributes
+    ----------
+    n_rounds:
+        Number of auction rounds.
+    epsilon_per_round:
+        The per-round budget the accounting rule permits.
+    accounting:
+        ``"basic"`` or ``"advanced"``.
+    expected_payment_per_round:
+        DP-hSRC's exact expected payment at that per-round ε on the
+        reference instance.
+    expected_total_payment:
+        ``n_rounds ×`` the per-round payment.
+    """
+
+    n_rounds: int
+    epsilon_per_round: float
+    accounting: str
+    expected_payment_per_round: float
+    expected_total_payment: float
+
+
+def invert_advanced_composition(
+    total_epsilon: float,
+    n_rounds: int,
+    delta_slack: float,
+    *,
+    tolerance: float = 1e-9,
+) -> float:
+    """The largest per-round ε₀ whose advanced composition stays ≤ ε_total.
+
+    ``advanced_composition_epsilon`` is strictly increasing in ε₀, so a
+    bisection over ``(0, ε_total]`` converges.  No clamping against the
+    basic-composition allowance is applied: for small ``n_rounds``
+    advanced accounting is genuinely *worse* than basic splitting, and
+    the returned ε₀ honestly reflects that.
+    """
+    validation.require_positive(total_epsilon, "total_epsilon")
+    if n_rounds < 1:
+        raise ValidationError(f"n_rounds must be >= 1, got {n_rounds}")
+    low, high = 0.0, float(total_epsilon)
+    if advanced_composition_epsilon(high, n_rounds, delta_slack) <= total_epsilon:
+        return high
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if mid <= 0.0:
+            break
+        if advanced_composition_epsilon(mid, n_rounds, delta_slack) <= total_epsilon:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def plan_campaign(
+    instance: AuctionInstance,
+    total_epsilon: float,
+    round_options: Sequence[int],
+    *,
+    delta_slack: float | None = None,
+) -> list[RoundPlan]:
+    """Evaluate campaign schedules on a reference instance.
+
+    Parameters
+    ----------
+    instance:
+        A representative market; its winner schedule is computed once and
+        re-scored per candidate ε (the Figure 5 trick).
+    total_epsilon:
+        The campaign's total privacy budget against any one worker's bid.
+    round_options:
+        Candidate round counts to evaluate.
+    delta_slack:
+        When given, *also* evaluates each round count under advanced
+        composition with this δ'; when ``None``, only basic composition.
+
+    Returns
+    -------
+    list of RoundPlan
+        One (or two, with ``delta_slack``) plans per round count, in
+        ascending round order; the caller picks by expected total payment
+        or by per-round quality needs.
+    """
+    validation.require_positive(total_epsilon, "total_epsilon")
+    if not round_options:
+        raise ValidationError("round_options must not be empty")
+
+    schedule: PricePMF = DPHSRCAuction(epsilon=1.0).price_pmf(instance)
+
+    def payment_at(epsilon: float) -> float:
+        return reweight_pmf(schedule, instance, epsilon).expected_total_payment()
+
+    plans: list[RoundPlan] = []
+    for rounds in sorted(set(int(r) for r in round_options)):
+        if rounds < 1:
+            raise ValidationError("round counts must be positive")
+        basic_eps = total_epsilon / rounds
+        basic_payment = payment_at(basic_eps)
+        plans.append(
+            RoundPlan(
+                n_rounds=rounds,
+                epsilon_per_round=basic_eps,
+                accounting="basic",
+                expected_payment_per_round=basic_payment,
+                expected_total_payment=rounds * basic_payment,
+            )
+        )
+        if delta_slack is not None:
+            adv_eps = invert_advanced_composition(total_epsilon, rounds, delta_slack)
+            if adv_eps > 0:
+                adv_payment = payment_at(adv_eps)
+                plans.append(
+                    RoundPlan(
+                        n_rounds=rounds,
+                        epsilon_per_round=adv_eps,
+                        accounting="advanced",
+                        expected_payment_per_round=adv_payment,
+                        expected_total_payment=rounds * adv_payment,
+                    )
+                )
+    return plans

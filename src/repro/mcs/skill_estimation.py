@@ -1,0 +1,91 @@
+"""Estimating the platform's skill record θ.
+
+The paper assumes θ is maintained by the platform and points at two
+estimation regimes (Section III-A); both are implemented here:
+
+* **gold tasks** — when some tasks' true labels are known a priori, a
+  worker's accuracy is her (smoothed) empirical hit rate on them;
+* **truth discovery** — with no ground truth at all, the Dawid–Skene EM
+  algorithm of :mod:`repro.aggregation.dawid_skene` estimates skills from
+  inter-worker agreement alone.
+
+Both return an ``(N, K)`` matrix shaped like the auction expects (a
+worker's estimated accuracy broadcast over tasks she has no history on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.dawid_skene import dawid_skene
+from repro.exceptions import ValidationError
+from repro.utils import validation
+
+__all__ = ["estimate_skills_from_gold", "estimate_skills_dawid_skene"]
+
+
+def estimate_skills_from_gold(
+    labels: np.ndarray,
+    gold_labels: np.ndarray,
+    *,
+    n_tasks: int | None = None,
+    smoothing: float = 1.0,
+) -> np.ndarray:
+    """Per-worker accuracy against gold tasks, Laplace-smoothed.
+
+    Parameters
+    ----------
+    labels:
+        ``(N, G)`` matrix of ±1 labels on the gold tasks (0 = missing).
+    gold_labels:
+        ``(G,)`` known true labels of the gold tasks (±1).
+    n_tasks:
+        Width of the returned skill matrix; defaults to ``G``.
+    smoothing:
+        Additive (Laplace) smoothing strength; keeps estimates interior
+        for workers with few gold labels.  A worker with no gold labels
+        gets the uninformative prior 0.5.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(N, n_tasks)`` skill matrix with each worker's estimated
+        accuracy broadcast across tasks.
+    """
+    labels = np.asarray(labels)
+    gold_labels = np.asarray(gold_labels, dtype=int)
+    if labels.ndim != 2:
+        raise ValidationError("labels must be 2-D (workers × gold tasks)")
+    if not np.all(np.isin(labels, (-1, 0, 1))):
+        raise ValidationError("labels must contain only -1, 0, +1")
+    if gold_labels.ndim != 1 or not np.all(np.isin(gold_labels, (-1, 1))):
+        raise ValidationError("gold_labels must be a 1-D array of ±1")
+    if labels.shape[1] != gold_labels.shape[0]:
+        raise ValidationError("labels width must match the number of gold tasks")
+    validation.require_nonnegative(smoothing, "smoothing")
+
+    observed = labels != 0
+    hits = ((labels == gold_labels[None, :]) & observed).sum(axis=1).astype(float)
+    counts = observed.sum(axis=1).astype(float)
+    accuracy = (hits + smoothing) / (counts + 2.0 * smoothing)
+    # With zero smoothing, unlabelled workers would divide 0/0; pin to 0.5.
+    accuracy = np.where(counts + 2.0 * smoothing > 0, accuracy, 0.5)
+    width = labels.shape[1] if n_tasks is None else int(n_tasks)
+    return np.tile(accuracy[:, None], (1, width))
+
+
+def estimate_skills_dawid_skene(
+    labels: np.ndarray, *, n_tasks: int | None = None
+) -> np.ndarray:
+    """Skill matrix from unsupervised Dawid–Skene truth discovery.
+
+    Parameters
+    ----------
+    labels:
+        ``(N, K)`` historical label matrix (±1, 0 = missing); every task
+        needs at least one label.
+    n_tasks:
+        Width of the returned matrix; defaults to the history's ``K``.
+    """
+    result = dawid_skene(np.asarray(labels))
+    return result.skill_matrix(n_tasks=n_tasks)

@@ -1,0 +1,82 @@
+"""Binary classification tasks with hidden ground truth.
+
+Each task has a true label ``l_j ∈ {+1, −1}`` unknown to the platform and
+an aggregation-error threshold ``δ_j`` the platform commits to (Section
+III-A).  Ground truth lives only in the simulator: mechanisms never see
+it, matching the paper's information model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils import validation
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["TaskSet"]
+
+
+@dataclass(frozen=True)
+class TaskSet:
+    """A set of binary classification tasks.
+
+    Attributes
+    ----------
+    true_labels:
+        ``(K,)`` hidden ground-truth labels, each +1 or −1.
+    error_thresholds:
+        ``(K,)`` per-task aggregation-error bounds ``δ_j ∈ (0, 1)``.
+    """
+
+    true_labels: np.ndarray
+    error_thresholds: np.ndarray
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.true_labels, dtype=int)
+        if labels.ndim != 1 or labels.size == 0:
+            raise ValidationError("true_labels must be a non-empty 1-D array")
+        if not np.all(np.isin(labels, (-1, 1))):
+            raise ValidationError("true_labels must contain only +1 and -1")
+        thresholds = validation.as_float_array(
+            self.error_thresholds, "error_thresholds", ndim=1
+        )
+        if thresholds.shape != labels.shape:
+            raise ValidationError(
+                "error_thresholds must have one entry per task"
+            )
+        for d in thresholds:
+            validation.require_probability(float(d), "error_thresholds", open_interval=True)
+        labels.setflags(write=False)
+        thresholds.setflags(write=False)
+        object.__setattr__(self, "true_labels", labels)
+        object.__setattr__(self, "error_thresholds", thresholds)
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of tasks ``K``."""
+        return int(self.true_labels.size)
+
+    def coverage_demands(self) -> np.ndarray:
+        """The Lemma 1 demands ``Q_j = 2 ln(1/δ_j)`` for these tasks."""
+        from repro.aggregation.error_bounds import coverage_demands
+
+        return coverage_demands(self.error_thresholds)
+
+    @classmethod
+    def random(
+        cls,
+        n_tasks: int,
+        error_threshold_range: tuple[float, float],
+        seed: RngLike = None,
+    ) -> "TaskSet":
+        """Draw a task set with uniform thresholds and fair-coin truths."""
+        if n_tasks < 1:
+            raise ValidationError("n_tasks must be positive")
+        lo, hi = error_threshold_range
+        rng = ensure_rng(seed)
+        labels = rng.choice((-1, 1), size=n_tasks)
+        thresholds = rng.uniform(lo, hi, size=n_tasks)
+        return cls(true_labels=labels, error_thresholds=thresholds)

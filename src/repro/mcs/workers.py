@@ -1,0 +1,130 @@
+"""The worker population: private skills, bundles, and costs.
+
+A :class:`WorkerPool` holds the simulator-side *truth* about workers —
+their actual skill matrix ``θ``, truly interested bundles ``Γ*_i``, and
+true costs ``c*_i``.  The auction only ever sees what workers *bid*;
+:meth:`WorkerPool.truthful_bids` produces the truthful profile of
+Definition 2, and the analysis package constructs deviations from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.auction.bids import Bid, BidProfile
+from repro.auction.instance import AuctionInstance
+from repro.exceptions import ValidationError
+from repro.utils import validation
+
+__all__ = ["WorkerPool"]
+
+
+@dataclass(frozen=True)
+class WorkerPool:
+    """All workers' private state.
+
+    Attributes
+    ----------
+    skills:
+        ``(N, K)`` true skill matrix ``θ`` with entries in [0, 1].
+    bundles:
+        Tuple of ``N`` frozensets — each worker's truly interested bundle
+        ``Γ*_i`` of task indices.
+    costs:
+        ``(N,)`` true costs ``c*_i`` for executing the interested bundle.
+    """
+
+    skills: np.ndarray
+    bundles: tuple[frozenset[int], ...]
+    costs: np.ndarray
+
+    def __post_init__(self) -> None:
+        skills = validation.as_float_array(self.skills, "skills", ndim=2)
+        validation.require_in_unit_interval(skills, "skills")
+        costs = validation.as_float_array(self.costs, "costs", ndim=1)
+        bundles = tuple(frozenset(int(j) for j in b) for b in self.bundles)
+        n_workers, n_tasks = skills.shape
+        if len(bundles) != n_workers:
+            raise ValidationError(
+                f"{len(bundles)} bundles for {n_workers} workers"
+            )
+        if costs.shape[0] != n_workers:
+            raise ValidationError(f"{costs.shape[0]} costs for {n_workers} workers")
+        if costs.size and np.min(costs) < 0:
+            raise ValidationError("costs must be non-negative")
+        for i, bundle in enumerate(bundles):
+            if not bundle:
+                raise ValidationError(f"worker {i} has an empty bundle")
+            if max(bundle) >= n_tasks or min(bundle) < 0:
+                raise ValidationError(f"worker {i}'s bundle names an unknown task")
+        skills.setflags(write=False)
+        costs.setflags(write=False)
+        object.__setattr__(self, "skills", skills)
+        object.__setattr__(self, "bundles", bundles)
+        object.__setattr__(self, "costs", costs)
+
+    @property
+    def n_workers(self) -> int:
+        """Number of workers ``N``."""
+        return self.skills.shape[0]
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of tasks ``K`` the skill record spans."""
+        return self.skills.shape[1]
+
+    def truthful_bids(self) -> BidProfile:
+        """The truthful bid profile ``b*_i = (Γ*_i, c*_i)`` (Definition 2)."""
+        return BidProfile(
+            [Bid(bundle, float(cost)) for bundle, cost in zip(self.bundles, self.costs)]
+        )
+
+    def bundle_mask(self) -> np.ndarray:
+        """Boolean ``(N, K)`` membership matrix of the true bundles."""
+        mask = np.zeros((self.n_workers, self.n_tasks), dtype=bool)
+        for i, bundle in enumerate(self.bundles):
+            mask[i, list(bundle)] = True
+        return mask
+
+    def to_instance(
+        self,
+        error_thresholds: np.ndarray,
+        price_grid: np.ndarray,
+        c_min: float,
+        c_max: float,
+        *,
+        bids: BidProfile | None = None,
+        skills_estimate: np.ndarray | None = None,
+    ) -> AuctionInstance:
+        """Assemble the auction instance the platform would solve.
+
+        Parameters
+        ----------
+        error_thresholds:
+            Per-task δ_j (e.g. from a :class:`~repro.mcs.tasks.TaskSet`).
+        price_grid, c_min, c_max:
+            Market parameters.
+        bids:
+            The submitted bid profile; defaults to the truthful profile.
+        skills_estimate:
+            The *platform's* skill record; defaults to the true skills
+            (a perfectly informed platform, as in the paper's simulations).
+        """
+        profile = self.truthful_bids() if bids is None else bids
+        skills = self.skills if skills_estimate is None else skills_estimate
+        return AuctionInstance.from_skills(
+            bids=profile,
+            skills=skills,
+            error_thresholds=error_thresholds,
+            price_grid=price_grid,
+            c_min=c_min,
+            c_max=c_max,
+        )
+
+    def utility_of(self, worker: int, payment: float, won: bool) -> float:
+        """Definition 3's utility for one worker under truthful costs."""
+        if won:
+            return float(payment - self.costs[int(worker)])
+        return 0.0

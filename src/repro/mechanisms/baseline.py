@@ -1,0 +1,68 @@
+"""The baseline auction of Section VII-A.
+
+Identical to DP-hSRC in every respect except the winner-selection rule:
+for a fixed price, workers are taken in **descending static quality
+order** ``Σ_{j∈Γ_i} q_ij`` until every task's error-bound constraint
+holds, instead of by adaptive truncated marginal gain.  The final price is
+drawn with the same exponential mechanism, so the baseline inherits
+ε-differential privacy, ε·Δc-truthfulness, and individual rationality —
+the paper uses it to isolate the value of the greedy winner-set stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.auction.instance import AuctionInstance
+from repro.auction.mechanism import Mechanism, PricePMF
+from repro.coverage.greedy import static_order_cover
+from repro.mechanisms.dp_hsrc import payment_score_sensitivity
+from repro.mechanisms.price_set import feasible_price_set, group_prices_by_candidates
+from repro.privacy.exponential import ExponentialMechanism
+from repro.utils import validation
+
+__all__ = ["BaselineAuction"]
+
+
+class BaselineAuction(Mechanism):
+    """Static-quality-order auction used as the paper's comparison point.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget of the exponential-mechanism price draw.
+    """
+
+    name = "baseline"
+
+    def __init__(self, epsilon: float) -> None:
+        validation.require_positive(epsilon, "epsilon")
+        self.epsilon = float(epsilon)
+
+    def price_pmf(self, instance: AuctionInstance) -> PricePMF:
+        """Exact (price, winner-set) distribution for ``instance``."""
+        prices = feasible_price_set(instance)
+        winner_sets: list[np.ndarray] = [None] * prices.size  # type: ignore[list-item]
+
+        for group in group_prices_by_candidates(instance, prices):
+            # Descending static gain over the affordable workers; ties
+            # break toward the lower original index for determinism.
+            static_gain = group.problem.gains.sum(axis=1)
+            order = np.argsort(-static_gain, kind="stable")
+            local = static_order_cover(group.problem, order=order).selection
+            winners = group.candidates[local]
+            for k in group.price_indices:
+                winner_sets[int(k)] = winners
+
+        cover_sizes = np.array([w.size for w in winner_sets], dtype=float)
+        mechanism = ExponentialMechanism(
+            scores=-(prices * cover_sizes),
+            epsilon=self.epsilon,
+            sensitivity=payment_score_sensitivity(instance),
+        )
+        return PricePMF(
+            prices=prices,
+            probabilities=mechanism.probabilities,
+            winner_sets=tuple(winner_sets),
+            n_workers=instance.n_workers,
+        )

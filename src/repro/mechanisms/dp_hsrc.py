@@ -1,0 +1,140 @@
+"""The DP-hSRC auction — Algorithm 1 of the paper.
+
+The mechanism runs in two stages:
+
+1. **Winner-set stage** (lines 6–15).  For every feasible price ``x`` in
+   the price set ``P``, greedily build a winner set ``S(x)`` among the
+   workers asking at most ``x``: repeatedly add the worker with the
+   largest truncated marginal coverage gain ``Σ_j min(Q'_j, q_ij)`` until
+   every task's error-bound constraint holds.  Prices falling between two
+   consecutive asking prices share a winner set, so only one greedy run
+   per distinct affordable-worker group is needed — the computation is
+   independent of ``|P|`` (Theorem 5).
+
+2. **Price stage** (line 16).  Sample the clearing price from the
+   exponential-mechanism distribution
+
+       Pr[p = x] ∝ exp( − ε · x·|S(x)| / (2 · N · c_max) ),
+
+   so prices with a lower total payment are exponentially more likely,
+   while a single bid's influence on the distribution is bounded —
+   yielding ε-differential privacy (Theorem 2) and, as corollaries,
+   ε·Δc-truthfulness (Theorem 3) and individual rationality (Theorem 4).
+
+Everything up to the final draw is deterministic, so the class exposes
+the exact outcome distribution via
+:meth:`~repro.auction.mechanism.Mechanism.price_pmf`; :meth:`run` samples
+one outcome from it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.auction.instance import AuctionInstance
+from repro.auction.mechanism import Mechanism, PricePMF
+from repro.coverage.greedy import greedy_cover
+from repro.mechanisms.price_set import feasible_price_set, group_prices_by_candidates
+from repro.privacy.exponential import ExponentialMechanism
+from repro.utils import validation
+
+__all__ = ["DPHSRCAuction", "payment_score_sensitivity", "reweight_pmf"]
+
+
+class DPHSRCAuction(Mechanism):
+    """Differentially private hSRC auction (paper Algorithm 1).
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget ε > 0.  Smaller values give stronger bid privacy
+        and a flatter price distribution (hence a larger expected total
+        payment) — the Figure 5 trade-off.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.auction import Bid, BidProfile, AuctionInstance
+    >>> bids = BidProfile([Bid([0], 1.0), Bid([0], 2.0), Bid([0], 3.0)])
+    >>> inst = AuctionInstance(
+    ...     bids=bids,
+    ...     quality=np.full((3, 1), 0.64),
+    ...     demands=np.array([1.0]),
+    ...     price_grid=np.array([1.0, 2.0, 3.0]),
+    ...     c_min=1.0, c_max=3.0,
+    ... )
+    >>> outcome = DPHSRCAuction(epsilon=0.5).run(inst, seed=0)
+    >>> outcome.n_winners >= 1
+    True
+    """
+
+    name = "dp-hsrc"
+
+    def __init__(self, epsilon: float) -> None:
+        validation.require_positive(epsilon, "epsilon")
+        self.epsilon = float(epsilon)
+
+    def price_pmf(self, instance: AuctionInstance) -> PricePMF:
+        """Exact (price, winner-set) distribution for ``instance``.
+
+        Raises
+        ------
+        EmptyPriceSetError
+            When no grid price is feasible.
+        """
+        prices = feasible_price_set(instance)
+        winner_sets: list[np.ndarray] = [None] * prices.size  # type: ignore[list-item]
+
+        for group in group_prices_by_candidates(instance, prices):
+            local = greedy_cover(group.problem).selection
+            winners = group.candidates[local]
+            for k in group.price_indices:
+                winner_sets[int(k)] = winners
+
+        cover_sizes = np.array([w.size for w in winner_sets], dtype=float)
+        mechanism = ExponentialMechanism(
+            scores=-(prices * cover_sizes),
+            epsilon=self.epsilon,
+            sensitivity=payment_score_sensitivity(instance),
+        )
+        return PricePMF(
+            prices=prices,
+            probabilities=mechanism.probabilities,
+            winner_sets=tuple(winner_sets),
+            n_workers=instance.n_workers,
+        )
+
+
+def payment_score_sensitivity(instance: AuctionInstance) -> float:
+    """The score sensitivity ``Δu = N · c_max`` used by Equation 10.
+
+    One worker changing her bid can change any price's winner set by at
+    most all ``N`` workers, each paid at most ``c_max``, so the total
+    payment score moves by at most ``N·c_max``.  The exponential
+    mechanism's ``2Δu`` denominator then yields the paper's exponent
+    ``ε·x·|S(x)| / (2·N·c_max)`` exactly.
+    """
+    return instance.n_workers * instance.c_max
+
+
+def reweight_pmf(pmf: PricePMF, instance: AuctionInstance, epsilon: float) -> PricePMF:
+    """Re-draw a PMF's price distribution under a different privacy budget.
+
+    The winner-set stage of Algorithm 1 does not depend on ε — only the
+    exponential-mechanism price draw does — so sweeping ε (Figure 5, the
+    sensitivity ablation) can reuse one winner-set computation and merely
+    re-score the support.  Returns a new :class:`PricePMF` over the same
+    (price, winner-set) support with probabilities for ``epsilon``.
+    """
+    validation.require_positive(epsilon, "epsilon")
+    mechanism = ExponentialMechanism(
+        scores=-pmf.total_payments.astype(float),
+        epsilon=float(epsilon),
+        sensitivity=payment_score_sensitivity(instance),
+    )
+    return PricePMF(
+        prices=pmf.prices,
+        probabilities=mechanism.probabilities,
+        winner_sets=pmf.winner_sets,
+        n_workers=pmf.n_workers,
+    )

@@ -1,0 +1,191 @@
+"""The non-private optimal single-price benchmark (Equation 6).
+
+``R_OPT = min_{p ∈ P} p · |S_OPT(p)|`` where ``S_OPT(p)`` is the
+minimum-cardinality winner set among workers asking at most ``p``.  The
+paper computes ``S_OPT`` with GUROBI; we use the certified exact solvers
+of :mod:`repro.coverage.exact` (HiGHS MILP by default, or our own
+branch-and-bound).
+
+Naively this needs one NP-hard solve per affordable-worker group; like
+the paper's GUROBI runs (Table II: up to 6,139 s), that can be very slow.
+:func:`optimal_total_payment` therefore prunes with certified bounds
+before ever calling the exact solver:
+
+* **upper bounds** — the greedy cover of each group bounds its payment
+  from above (cheap, Lemma 2-guaranteed);
+* **lower bounds** — each group's LP relaxation gives the certified lower
+  bound ``p_g · ⌈LP_g⌉``;
+* groups are solved in ascending lower-bound order and the loop stops as
+  soon as the best *solved* payment is at most every remaining group's
+  lower bound — the usual branch-and-bound argument lifted to the price
+  dimension.  Pruned groups provably cannot contain the optimum, so the
+  result stays exact.
+
+Exposed both as a plain function and as a
+:class:`~repro.auction.mechanism.Mechanism` whose "distribution" is a
+point mass on the optimal price, so the experiment harness treats all
+three mechanisms uniformly.  The benchmark is **not** differentially
+private — that is exactly the gap the paper's Figures 1–2 quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.auction.instance import AuctionInstance
+from repro.auction.mechanism import Mechanism, PricePMF
+from repro.coverage.exact import solve_exact
+from repro.coverage.greedy import greedy_cover
+from repro.coverage.lp import lp_lower_bound
+from repro.mechanisms.price_set import feasible_price_set, group_prices_by_candidates
+
+__all__ = ["OptimalSinglePriceMechanism", "OptimalResult", "optimal_total_payment"]
+
+
+@dataclass(frozen=True)
+class OptimalResult:
+    """The optimal single-price solution of an instance.
+
+    Attributes
+    ----------
+    price:
+        The payment-minimizing feasible price ``p*``.
+    winners:
+        ``S_OPT(p*)`` as original worker indices, sorted.
+    total_payment:
+        ``R_OPT = p* · |S_OPT(p*)|``.
+    certified:
+        True when every exact solve involved finished with a proof of
+        optimality; False if a time limit left a gap open somewhere (the
+        result is then an upper bound on the true ``R_OPT``).
+    n_exact_solves:
+        How many NP-hard solves the pruning actually allowed through.
+    """
+
+    price: float
+    winners: np.ndarray
+    total_payment: float
+    certified: bool = True
+    n_exact_solves: int = 0
+
+
+def optimal_total_payment(
+    instance: AuctionInstance,
+    *,
+    backend: str = "milp",
+    time_limit_per_solve: float | None = 120.0,
+    max_exact_solves: int | None = None,
+) -> OptimalResult:
+    """Compute ``R_OPT`` with bound-based pruning over the price groups.
+
+    Parameters
+    ----------
+    instance:
+        The auction instance.
+    backend:
+        Exact solver backend, ``"milp"`` (default) or ``"bnb"``.
+    time_limit_per_solve:
+        Per-group wall-clock budget (seconds) for the MILP backend; a
+        timed-out group contributes its incumbent and flips ``certified``
+        to False.  ``None`` disables the limit.
+    max_exact_solves:
+        Optional cap on the number of exact solves.  Groups are processed
+        in ascending certified-lower-bound order, so the optimum is very
+        likely among the first few; hitting the cap flips ``certified``
+        to False (the result is then an upper bound on ``R_OPT``).
+
+    Raises
+    ------
+    EmptyPriceSetError
+        When no grid price is feasible.
+    """
+    prices = feasible_price_set(instance)
+    groups = group_prices_by_candidates(instance, prices)
+
+    # Cheap certified bounds per group.  Group price = its lowest price
+    # (within a group |S| is constant, so the lowest price is optimal).
+    group_prices = np.array(
+        [float(prices[g.price_indices[0]]) for g in groups]
+    )
+    lower_bounds = np.empty(len(groups))
+    greedy_sizes = np.empty(len(groups), dtype=int)
+    for idx, group in enumerate(groups):
+        lower_bounds[idx] = group_prices[idx] * lp_lower_bound(group.problem).integral_bound
+        greedy_sizes[idx] = greedy_cover(group.problem).size
+
+    best: OptimalResult | None = None
+    n_solves = 0
+    certified = True
+    for idx in np.argsort(lower_bounds):
+        group = groups[int(idx)]
+        if best is not None and lower_bounds[idx] >= best.total_payment - 1e-9:
+            break  # every remaining group's optimum is provably no better
+        if max_exact_solves is not None and n_solves >= max_exact_solves:
+            certified = False  # remaining groups were never ruled out
+            break
+        result = solve_exact(
+            group.problem, backend=backend, time_limit=time_limit_per_solve
+        )
+        n_solves += 1
+        certified = certified and result.certified
+        winners = group.candidates[result.selection]
+        payment = group_prices[idx] * winners.size
+        if best is None or payment < best.total_payment:
+            best = OptimalResult(
+                price=float(group_prices[idx]),
+                winners=winners,
+                total_payment=float(payment),
+                certified=certified,
+                n_exact_solves=n_solves,
+            )
+    assert best is not None  # feasible_price_set guarantees ≥ 1 group
+    return OptimalResult(
+        price=best.price,
+        winners=best.winners,
+        total_payment=best.total_payment,
+        certified=certified,
+        n_exact_solves=n_solves,
+    )
+
+
+class OptimalSinglePriceMechanism(Mechanism):
+    """Mechanism wrapper putting all probability mass on the optimum.
+
+    Parameters
+    ----------
+    backend:
+        Exact solver backend forwarded to :func:`optimal_total_payment`.
+    time_limit_per_solve:
+        Per-group time budget forwarded to :func:`optimal_total_payment`.
+    """
+
+    name = "optimal"
+
+    def __init__(
+        self,
+        backend: str = "milp",
+        time_limit_per_solve: float | None = 120.0,
+        max_exact_solves: int | None = None,
+    ) -> None:
+        if backend not in ("milp", "bnb"):
+            raise ValueError(f"unknown exact backend {backend!r}; use 'milp' or 'bnb'")
+        self.backend = backend
+        self.time_limit_per_solve = time_limit_per_solve
+        self.max_exact_solves = max_exact_solves
+
+    def price_pmf(self, instance: AuctionInstance) -> PricePMF:
+        """A degenerate PMF: probability 1 on the optimal price."""
+        result = optimal_total_payment(
+            instance,
+            backend=self.backend,
+            time_limit_per_solve=self.time_limit_per_solve,
+            max_exact_solves=self.max_exact_solves,
+        )
+        return PricePMF(
+            prices=np.array([result.price]),
+            probabilities=np.array([1.0]),
+            winner_sets=(result.winners,),
+            n_workers=instance.n_workers,
+        )

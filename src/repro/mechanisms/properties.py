@@ -1,0 +1,93 @@
+"""Closed-form theoretical guarantees of the DP-hSRC auction.
+
+These are the quantitative versions of Theorems 2–6, used by the analysis
+package to check that *measured* behaviour stays inside the *proven*
+envelope:
+
+* :func:`truthfulness_gap` — Theorem 3's γ = ε·Δc.
+* :func:`payment_sensitivity` — the Δu = N·c_max score sensitivity behind
+  Theorem 2.
+* :func:`theorem6_payment_bound` — Theorem 6's bound on the expected
+  total payment,
+  ``2βH_m·R_OPT + (6N·c_max/ε)·ln(e + ε|P|βH_m·R_OPT/c_min)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.auction.instance import AuctionInstance
+from repro.coverage.bounds import greedy_approximation_factor
+from repro.coverage.problem import CoverProblem
+from repro.utils import validation
+
+__all__ = ["truthfulness_gap", "payment_sensitivity", "theorem6_payment_bound"]
+
+
+def truthfulness_gap(epsilon: float, c_min: float, c_max: float) -> float:
+    """Theorem 3's γ = ε·Δc with Δc = c_max − c_min.
+
+    No worker can gain more than γ in expected utility by misreporting
+    either her bundle or her price.
+    """
+    validation.require_positive(epsilon, "epsilon")
+    validation.require_nonnegative(c_min, "c_min")
+    validation.require_positive(c_max, "c_max")
+    if c_min > c_max:
+        raise ValueError(f"c_min ({c_min}) must not exceed c_max ({c_max})")
+    return float(epsilon) * (float(c_max) - float(c_min))
+
+
+def payment_sensitivity(n_workers: int, c_max: float) -> float:
+    """Δu = N·c_max — how much one bid can move any price's payment score."""
+    if n_workers <= 0:
+        raise ValueError(f"n_workers must be positive, got {n_workers}")
+    validation.require_positive(c_max, "c_max")
+    return float(n_workers) * float(c_max)
+
+
+def theorem6_payment_bound(
+    instance: AuctionInstance,
+    epsilon: float,
+    r_opt: float,
+    *,
+    unit: float,
+    n_prices: int | None = None,
+) -> float:
+    """Theorem 6's upper bound on DP-hSRC's expected total payment.
+
+    Parameters
+    ----------
+    instance:
+        The auction instance (supplies N, c_max, c_min, β, m).
+    epsilon:
+        Privacy budget the mechanism ran with.
+    r_opt:
+        The optimal total payment ``R_OPT`` of the instance.
+    unit:
+        Measurement granularity Δq of the quality/demand values, defining
+        Lemma 2's multiplicity ``m = Σ_j Q_j / Δq``.
+    n_prices:
+        ``|P|``; defaults to the full grid size (an upper bound on the
+        feasible set's size, which only loosens the bound).
+
+    Notes
+    -----
+    β is computed over the *effective* qualities (a worker's static gain
+    counts only tasks inside her bundle), matching the paper's
+    ``β = max_i Σ_{j∈Γ_i} q_ij``.
+    """
+    validation.require_positive(epsilon, "epsilon")
+    validation.require_positive(r_opt, "r_opt")
+    problem = CoverProblem(instance.effective_quality, instance.demands)
+    greedy_factor = greedy_approximation_factor(problem, unit)
+    if n_prices is None:
+        n_prices = int(instance.price_grid.size)
+    n = instance.n_workers
+    c_max, c_min = instance.c_max, instance.c_min
+    if c_min <= 0:
+        raise ValueError("theorem 6's bound requires c_min > 0")
+    additive = (6.0 * n * c_max / epsilon) * np.log(
+        np.e + epsilon * n_prices * greedy_factor * r_opt / c_min
+    )
+    return float(greedy_factor * r_opt + additive)

@@ -1,0 +1,175 @@
+"""A non-private truthful greedy auction with critical payments.
+
+The related-work mechanisms the paper positions itself against (e.g.
+Yang et al., MobiCom 2012; Jin et al., MobiHoc 2015 [10]) are reverse
+auctions with *price differentiation*: winners are picked greedily by
+cost-effectiveness and each winner is paid her **critical value** — the
+highest price she could have bid and still won.  Monotone selection plus
+critical payments makes the mechanism exactly truthful (Myerson), and it
+is individually rational; but it is **not** differentially private — a
+single bid change can visibly reshape the payment vector, which is
+precisely the leak DP-hSRC plugs.
+
+Section IV of the paper justifies benchmarking single-price mechanisms by
+noting the optimal single price is within a constant factor of any
+price-differentiated mechanism; this module supplies the concrete
+price-differentiated comparator so the claim — and the price of privacy —
+can be measured (see ``experiments/price_of_privacy.py``).
+
+Selection rule
+--------------
+Repeatedly pick the worker minimizing ``ρ_i / gain_i(Q')`` (price per
+unit of truncated residual coverage) until every demand is met.
+
+Payment rule
+------------
+For winner ``i``: re-run the greedy without ``i``; at each round ``t`` of
+that counterfactual run (selecting ``j_t`` against residual ``R_t``), the
+bid that would have gotten ``i`` picked instead of ``j_t`` is
+``gain_i(R_t) · ρ_{j_t} / gain_{j_t}(R_t)``.  The critical payment is the
+maximum of those thresholds over the rounds before the counterfactual
+run completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.auction.instance import AuctionInstance
+from repro.auction.outcome import AuctionOutcome
+from repro.exceptions import InfeasibleError
+
+__all__ = ["ThresholdPaymentAuction"]
+
+_TOL = 1e-9
+
+
+def _greedy_by_cost_effectiveness(
+    gains: np.ndarray, prices: np.ndarray, demands: np.ndarray,
+    excluded: int | None = None,
+) -> list[tuple[int, np.ndarray]]:
+    """Run the cost-effectiveness greedy; return [(winner, residual-before)].
+
+    ``residual-before`` is the residual demand vector *at selection time*,
+    which the payment rule needs to replay thresholds.
+
+    Raises
+    ------
+    InfeasibleError
+        If demands cannot be met (with ``excluded`` removed).
+    """
+    n = gains.shape[0]
+    residual = demands.copy()
+    available = np.ones(n, dtype=bool)
+    if excluded is not None:
+        available[excluded] = False
+    trace: list[tuple[int, np.ndarray]] = []
+
+    while np.any(residual > _TOL):
+        active = residual > _TOL
+        truncated = np.minimum(gains[:, active], residual[active]).sum(axis=1)
+        with np.errstate(divide="ignore"):
+            effectiveness = np.where(truncated > _TOL, prices / truncated, np.inf)
+        effectiveness[~available] = np.inf
+        best = int(np.argmin(effectiveness))
+        if not np.isfinite(effectiveness[best]):
+            raise InfeasibleError(
+                "cost-effectiveness greedy ran out of useful candidates"
+            )
+        trace.append((best, residual.copy()))
+        residual[active] -= np.asarray(
+            np.minimum(gains[best, active], residual[active]), dtype=float
+        )
+        np.clip(residual, 0.0, None, out=residual)
+        available[best] = False
+    return trace
+
+
+@dataclass
+class ThresholdPaymentAuction:
+    """Truthful greedy auction with per-winner critical payments.
+
+    Not a :class:`~repro.auction.mechanism.Mechanism` subclass: it is
+    deterministic and pays winners *different* amounts, so it has no
+    single-price PMF.  Use :meth:`run` directly.
+
+    Notes
+    -----
+    * Exactly truthful and individually rational (critical payments over
+      a monotone selection rule).
+    * Deterministic ⇒ zero randomness to hide behind ⇒ **no differential
+      privacy**: neighboring bid profiles can produce disjoint payment
+      vectors.
+    """
+
+    name: str = "threshold-greedy"
+
+    def run(self, instance: AuctionInstance) -> AuctionOutcome:
+        """Select winners and compute critical payments.
+
+        Raises
+        ------
+        InfeasibleError
+            If the full population cannot satisfy the coverage demands,
+            or if a winner's critical payment is unbounded because the
+            market cannot cover without her (no competition ⇒ the
+            threshold mechanism is undefined; the DP-hSRC price cap
+            ``c_max`` has no analogue here).
+        """
+        gains = instance.effective_quality
+        prices = instance.prices
+        demands = instance.demands
+
+        trace = _greedy_by_cost_effectiveness(gains, prices, demands)
+        winners = np.array(sorted(i for i, _ in trace), dtype=int)
+
+        payments = np.zeros(instance.n_workers, dtype=float)
+        for winner in winners:
+            payments[winner] = self._critical_payment(
+                int(winner), gains, prices, demands
+            )
+
+        # Clearing "price" reported as the largest payment, for parity
+        # with the single-price mechanisms' reporting.
+        top = float(payments.max()) if winners.size else 0.0
+        return AuctionOutcome(
+            winners=winners,
+            price=top,
+            n_workers=instance.n_workers,
+            payments=payments,
+        )
+
+    def _critical_payment(
+        self,
+        winner: int,
+        gains: np.ndarray,
+        prices: np.ndarray,
+        demands: np.ndarray,
+    ) -> float:
+        """Max bid at which ``winner`` would still have been selected."""
+        try:
+            counterfactual = _greedy_by_cost_effectiveness(
+                gains, prices, demands, excluded=winner
+            )
+        except InfeasibleError as exc:
+            raise InfeasibleError(
+                f"worker {winner} is irreplaceable: her critical payment is "
+                "unbounded (threshold mechanisms need competition)"
+            ) from exc
+
+        threshold = 0.0
+        for other, residual in counterfactual:
+            active = residual > _TOL
+            my_gain = float(
+                np.minimum(gains[winner, active], residual[active]).sum()
+            )
+            other_gain = float(
+                np.minimum(gains[other, active], residual[active]).sum()
+            )
+            if my_gain <= _TOL:
+                continue  # nothing left for the winner to offer this round
+            # Bid at which `winner` ties `other`'s cost-effectiveness.
+            threshold = max(threshold, my_gain * prices[other] / other_gain)
+        return threshold

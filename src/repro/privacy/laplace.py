@@ -1,0 +1,54 @@
+"""The Laplace mechanism for numeric queries.
+
+Not used inside DP-hSRC itself (whose randomization is the exponential
+mechanism), but part of any DP toolbox: platform operators releasing
+per-round statistics (e.g. the number of winners) alongside payments need
+it, and the privacy-audit example uses it as a known-good reference
+mechanism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import validation
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["laplace_scale", "laplace_mechanism"]
+
+
+def laplace_scale(sensitivity: float, epsilon: float) -> float:
+    """The noise scale ``b = Δf / ε`` that makes the release ε-DP."""
+    validation.require_positive(sensitivity, "sensitivity")
+    validation.require_positive(epsilon, "epsilon")
+    return float(sensitivity) / float(epsilon)
+
+
+def laplace_mechanism(
+    value: float | np.ndarray,
+    sensitivity: float,
+    epsilon: float,
+    seed: RngLike = None,
+) -> float | np.ndarray:
+    """Release ``value`` with Laplace noise calibrated to ``(Δf, ε)``.
+
+    Parameters
+    ----------
+    value:
+        The true query answer (scalar or array; array entries are
+        perturbed independently, which is ε-DP when ``sensitivity`` bounds
+        the *L1* change of the whole vector).
+    sensitivity:
+        The L1 sensitivity ``Δf`` of the query.
+    epsilon:
+        Privacy budget.
+    seed:
+        Randomness source.
+    """
+    rng = ensure_rng(seed)
+    scale = laplace_scale(sensitivity, epsilon)
+    arr = np.asarray(value, dtype=float)
+    noisy = arr + rng.laplace(loc=0.0, scale=scale, size=arr.shape)
+    if np.isscalar(value) or arr.ndim == 0:
+        return float(noisy)
+    return noisy

@@ -1,0 +1,112 @@
+"""Divergence measures between neighboring outcome distributions.
+
+The paper quantifies how much an honest-but-curious worker can learn from
+the auction's price distribution by comparing the distributions produced
+by two bid profiles differing in one bid:
+
+* **Privacy leakage** (Definition 8, Figure 5) — the Kullback–Leibler
+  divergence ``D_KL(P ‖ P′)``.
+* **Max divergence** — ``max_x |ln(P(x)/P′(x))|``, the *empirical ε*:
+  Theorem 2 guarantees it never exceeds the nominal budget.
+* **Total variation** — an intuitive "distinguishing advantage" measure.
+
+Array-level functions operate on aligned probability vectors; the
+``pmf_*`` wrappers take two :class:`~repro.auction.mechanism.PricePMF`
+objects and align them by price support first, raising when the supports
+differ (a support difference is itself a catastrophic privacy leak, so it
+must never be silently papered over).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.auction.mechanism import PricePMF
+from repro.exceptions import ValidationError
+from repro.utils import validation
+
+__all__ = [
+    "kl_divergence",
+    "max_log_ratio",
+    "total_variation",
+    "pmf_kl_divergence",
+    "pmf_max_log_ratio",
+    "pmf_total_variation",
+]
+
+
+def _validate_pair(p, q) -> tuple[np.ndarray, np.ndarray]:
+    p = validation.as_float_array(p, "p", ndim=1)
+    q = validation.as_float_array(q, "q", ndim=1)
+    if p.shape != q.shape:
+        raise ValidationError("the two distributions must share a support")
+    for name, arr in (("p", p), ("q", q)):
+        if np.any(arr < -1e-12):
+            raise ValidationError(f"{name} must be non-negative")
+        if not np.isclose(arr.sum(), 1.0, atol=1e-6):
+            raise ValidationError(f"{name} must sum to 1, got {arr.sum()}")
+    return np.clip(p, 0.0, None), np.clip(q, 0.0, None)
+
+
+def kl_divergence(p, q) -> float:
+    """``D_KL(p ‖ q) = Σ_x p(x) ln(p(x)/q(x))`` (Definition 8).
+
+    Zero-probability points of ``p`` contribute nothing; a point where
+    ``p > 0`` but ``q = 0`` yields ``inf`` (the distributions are then
+    perfectly distinguishable there).
+    """
+    p, q = _validate_pair(p, q)
+    support = p > 0
+    if np.any(q[support] == 0):
+        return float("inf")
+    return float(np.sum(p[support] * np.log(p[support] / q[support])))
+
+
+def max_log_ratio(p, q) -> float:
+    """``max_x |ln(p(x)/q(x))|`` over points where either mass is positive.
+
+    This is the empirical (two-sided) max divergence.  An ε-DP mechanism
+    run on neighboring inputs always satisfies ``max_log_ratio ≤ ε``; the
+    DP-verification analysis asserts exactly that.
+    """
+    p, q = _validate_pair(p, q)
+    either = (p > 0) | (q > 0)
+    if np.any((p[either] == 0) != (q[either] == 0)):
+        return float("inf")
+    both = (p > 0) & (q > 0)
+    if not np.any(both):
+        return 0.0
+    return float(np.max(np.abs(np.log(p[both] / q[both]))))
+
+
+def total_variation(p, q) -> float:
+    """Total variation distance ``½ Σ_x |p(x) − q(x)| ∈ [0, 1]``."""
+    p, q = _validate_pair(p, q)
+    return float(0.5 * np.sum(np.abs(p - q)))
+
+
+def _aligned(pmf_a: PricePMF, pmf_b: PricePMF) -> tuple[np.ndarray, np.ndarray]:
+    if pmf_a.support_size != pmf_b.support_size or not np.allclose(
+        pmf_a.prices, pmf_b.prices, atol=1e-9
+    ):
+        raise ValidationError(
+            "the two price PMFs have different supports; neighboring bid "
+            "profiles must be evaluated over the same feasible price set "
+            "(fix the price set explicitly when constructing the instances)"
+        )
+    return pmf_a.probabilities, pmf_b.probabilities
+
+
+def pmf_kl_divergence(pmf_a: PricePMF, pmf_b: PricePMF) -> float:
+    """Definition 8's privacy leakage between two mechanism PMFs."""
+    return kl_divergence(*_aligned(pmf_a, pmf_b))
+
+
+def pmf_max_log_ratio(pmf_a: PricePMF, pmf_b: PricePMF) -> float:
+    """Empirical ε between two mechanism PMFs."""
+    return max_log_ratio(*_aligned(pmf_a, pmf_b))
+
+
+def pmf_total_variation(pmf_a: PricePMF, pmf_b: PricePMF) -> float:
+    """Total variation distance between two mechanism PMFs."""
+    return total_variation(*_aligned(pmf_a, pmf_b))

@@ -1,0 +1,149 @@
+"""Private-selection mechanisms beyond McSherry–Talwar.
+
+The DP-hSRC auction's price stage is a *private selection* problem: pick
+a low-payment price from a finite set, privately.  The paper (2016) uses
+the exponential mechanism; the private-selection literature has since
+produced strictly better selectors, and this module implements the most
+prominent one so the reproduction can quantify how much the paper's
+mechanism improves with a modern drop-in (the ``dp_variants`` ablation):
+
+* :func:`permute_and_flip_sample` — McKenna & Sheldon, NeurIPS 2020.
+  Same ε-DP guarantee as the exponential mechanism, never worse expected
+  utility, up to 2× better in the low-ε regime.
+* :func:`permute_and_flip_pmf_exact` — exact selection probabilities by
+  permutation enumeration (O(M!·M); for tests and small supports).
+* :func:`permute_and_flip_pmf_monte_carlo` — PMF estimate for large
+  supports.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils import validation
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = [
+    "gumbel_max_sample",
+    "permute_and_flip_sample",
+    "permute_and_flip_pmf_exact",
+    "permute_and_flip_pmf_monte_carlo",
+]
+
+
+def _flip_probabilities(scores: np.ndarray, epsilon: float, sensitivity: float) -> np.ndarray:
+    """Per-candidate acceptance probabilities ``exp(ε(s − s_max)/(2Δ))``."""
+    scores = validation.as_float_array(scores, "scores", ndim=1)
+    if scores.size == 0:
+        raise ValidationError("permute-and-flip needs at least one candidate")
+    validation.require_positive(epsilon, "epsilon")
+    validation.require_positive(sensitivity, "sensitivity")
+    return np.exp(epsilon * (scores - scores.max()) / (2.0 * sensitivity))
+
+
+def permute_and_flip_sample(
+    scores: np.ndarray,
+    epsilon: float,
+    sensitivity: float,
+    seed: RngLike = None,
+) -> int:
+    """Draw one candidate with the permute-and-flip mechanism.
+
+    Visit the candidates in uniformly random order; at candidate ``i``
+    accept with probability ``exp(ε(s_i − s_max)/(2Δ))``; the first
+    acceptance wins.  A maximum-score candidate accepts with probability
+    1, so the loop always terminates.  ε-differentially private
+    (McKenna & Sheldon 2020, Thm 4), and its utility distribution
+    stochastically dominates the exponential mechanism's.
+    """
+    rng = ensure_rng(seed)
+    q = _flip_probabilities(scores, epsilon, sensitivity)
+    order = rng.permutation(q.size)
+    for candidate in order:
+        if rng.random() <= q[candidate]:
+            return int(candidate)
+    # Unreachable: the argmax has q = 1.
+    raise AssertionError("permute-and-flip failed to accept any candidate")
+
+
+def permute_and_flip_pmf_exact(
+    scores: np.ndarray, epsilon: float, sensitivity: float
+) -> np.ndarray:
+    """Exact selection PMF by enumerating all M! visit orders.
+
+    Only feasible for small candidate sets (M ≤ ~8); used by the tests to
+    validate the sampler and by analyses on toy markets.
+    """
+    q = _flip_probabilities(scores, epsilon, sensitivity)
+    m = q.size
+    if m > 9:
+        raise ValidationError(
+            f"exact permute-and-flip PMF is factorial in the support size; "
+            f"got {m} candidates (max 9). Use the Monte-Carlo estimator."
+        )
+    pmf = np.zeros(m)
+    n_orders = 0
+    for order in itertools.permutations(range(m)):
+        n_orders += 1
+        survive = 1.0
+        for candidate in order:
+            pmf[candidate] += survive * q[candidate]
+            survive *= 1.0 - q[candidate]
+    return pmf / n_orders
+
+
+def permute_and_flip_pmf_monte_carlo(
+    scores: np.ndarray,
+    epsilon: float,
+    sensitivity: float,
+    n_samples: int = 20_000,
+    seed: RngLike = None,
+) -> np.ndarray:
+    """Estimate the selection PMF by repeated sampling.
+
+    The estimate's per-cell standard error is ≤ ``0.5/sqrt(n_samples)``;
+    suitable for plotting and payment estimates, not for DP ratio proofs
+    (those hold by construction).
+    """
+    if n_samples < 1:
+        raise ValidationError("n_samples must be positive")
+    rng = ensure_rng(seed)
+    scores = validation.as_float_array(scores, "scores", ndim=1)
+    counts = np.zeros(scores.size)
+    # Vectorized batch sampling: draw orders and flips per sample.
+    q = _flip_probabilities(scores, epsilon, sensitivity)
+    for _ in range(int(n_samples)):
+        order = rng.permutation(q.size)
+        flips = rng.random(q.size) <= q[order]
+        first = int(np.argmax(flips))  # flips always contains the argmax
+        counts[order[first]] += 1
+    return counts / counts.sum()
+
+
+def gumbel_max_sample(
+    scores: np.ndarray,
+    epsilon: float,
+    sensitivity: float,
+    seed: RngLike = None,
+) -> int:
+    """Sample the exponential mechanism via the Gumbel-max trick.
+
+    Adding independent ``Gumbel(2Δ/ε)`` noise to each scaled score and
+    taking the argmax draws *exactly* from the exponential mechanism's
+    distribution — an O(M) sampling path that never materializes the
+    normalized PMF, handy when the support is huge.  (The test suite
+    checks the distributional equivalence against
+    :class:`~repro.privacy.exponential.ExponentialMechanism`.)
+    """
+    rng = ensure_rng(seed)
+    scores = validation.as_float_array(scores, "scores", ndim=1)
+    if scores.size == 0:
+        raise ValidationError("gumbel-max needs at least one candidate")
+    validation.require_positive(epsilon, "epsilon")
+    validation.require_positive(sensitivity, "sensitivity")
+    logits = epsilon * scores / (2.0 * sensitivity)
+    noise = rng.gumbel(size=scores.size)
+    return int(np.argmax(logits + noise))

@@ -1,0 +1,25 @@
+"""Shared utilities: RNG handling, validation, timing, table rendering.
+
+These helpers keep the domain packages (`repro.auction`, `repro.mechanisms`,
+...) free of boilerplate.  Nothing in here knows anything about auctions or
+privacy; it is pure infrastructure.
+"""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import Timer
+from repro.utils.tables import render_table
+from repro.utils.ascii_plot import ascii_chart
+from repro.utils.stats import IntervalEstimate, bootstrap_ci, mean_confidence_interval
+from repro.utils import validation
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "render_table",
+    "validation",
+    "IntervalEstimate",
+    "mean_confidence_interval",
+    "bootstrap_ci",
+    "ascii_chart",
+]

@@ -1,0 +1,108 @@
+"""Terminal line charts for experiment series.
+
+The reproduction has no plotting dependency; these charts let
+``python -m repro figure1 --plot`` show the *shape* of a figure — which
+is exactly what the reproduction asserts — directly in the terminal.
+Pure text in, pure text out; no escape codes, so output is pipe- and
+log-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import ValidationError
+
+__all__ = ["ascii_chart"]
+
+#: Marker characters assigned to series in order.
+_MARKERS = "*o+x#@%&"
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    """Map ``value`` in [low, high] onto 0..steps-1 (degenerate-safe)."""
+    if high <= low:
+        return 0
+    ratio = (value - low) / (high - low)
+    return min(int(ratio * steps), steps - 1)
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Render one or more y-series against a shared x-axis.
+
+    Parameters
+    ----------
+    x:
+        Shared x values (must be non-empty and sorted ascending).
+    series:
+        ``{label: y values}``; every series must match ``len(x)``.
+        Up to 8 series (one marker character each).
+    width, height:
+        Plot area size in characters (excluding axes and labels).
+    title:
+        Optional title line.
+
+    Returns
+    -------
+    str
+        A multi-line chart: title, plot rows with y-axis labels on the
+        first/last rows, an x-axis line, and a legend.
+    """
+    if len(x) == 0:
+        raise ValidationError("ascii_chart needs at least one x value")
+    if not series:
+        raise ValidationError("ascii_chart needs at least one series")
+    if len(series) > len(_MARKERS):
+        raise ValidationError(f"at most {len(_MARKERS)} series supported")
+    for label, ys in series.items():
+        if len(ys) != len(x):
+            raise ValidationError(
+                f"series {label!r} has {len(ys)} points for {len(x)} x values"
+            )
+    if width < 8 or height < 3:
+        raise ValidationError("plot area must be at least 8x3")
+    if any(b <= a for a, b in zip(x, list(x)[1:])):
+        raise ValidationError("x values must be strictly ascending")
+
+    all_y = [float(v) for ys in series.values() for v in ys]
+    y_low, y_high = min(all_y), max(all_y)
+    x_low, x_high = float(x[0]), float(x[-1])
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (label, ys) in zip(_MARKERS, series.items()):
+        for xi, yi in zip(x, ys):
+            col = _scale(float(xi), x_low, x_high, width)
+            row = height - 1 - _scale(float(yi), y_low, y_high, height)
+            # Later series overwrite on collisions; the legend disambiguates.
+            grid[row][col] = marker
+
+    y_label_width = max(len(f"{y_high:.6g}"), len(f"{y_low:.6g}"))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_high:.6g}".rjust(y_label_width)
+        elif row_index == height - 1:
+            label = f"{y_low:.6g}".rjust(y_label_width)
+        else:
+            label = " " * y_label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * y_label_width + " +" + "-" * width
+    lines.append(axis)
+    x_left = f"{x_low:.6g}"
+    x_right = f"{x_high:.6g}"
+    padding = max(width - len(x_left) - len(x_right), 1)
+    lines.append(" " * (y_label_width + 2) + x_left + " " * padding + x_right)
+    legend = "   ".join(
+        f"{marker} {label}" for marker, label in zip(_MARKERS, series)
+    )
+    lines.append(" " * (y_label_width + 2) + legend)
+    return "\n".join(lines)

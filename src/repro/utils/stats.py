@@ -1,0 +1,109 @@
+"""Small statistics helpers for experiment aggregation.
+
+The paper plots one instance per sweep point (hence its "nonsmooth"
+curves); averaging several instances per point needs honest uncertainty
+estimates, which these helpers provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["IntervalEstimate", "mean_confidence_interval", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class IntervalEstimate:
+    """A point estimate with a two-sided confidence interval.
+
+    Attributes
+    ----------
+    estimate:
+        The point estimate (mean, or the bootstrap statistic).
+    low, high:
+        Interval endpoints.
+    confidence:
+        The nominal coverage level (e.g. 0.95).
+    n:
+        Sample size the estimate was computed from.
+    """
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    n: int
+
+    @property
+    def half_width(self) -> float:
+        """Half the interval width — the ± margin."""
+        return (self.high - self.low) / 2.0
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> IntervalEstimate:
+    """Student-t confidence interval for the mean.
+
+    With a single observation the interval degenerates to the point (no
+    variance information), which the caller can detect via ``n``.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValidationError("cannot form an interval from zero observations")
+    if not (0.0 < confidence < 1.0):
+        raise ValidationError(f"confidence must be in (0, 1), got {confidence}")
+    mean = float(np.mean(arr))
+    if arr.size == 1:
+        return IntervalEstimate(mean, mean, mean, confidence, 1)
+    sem = float(np.std(arr, ddof=1) / np.sqrt(arr.size))
+    margin = float(scipy_stats.t.ppf(0.5 + confidence / 2.0, df=arr.size - 1) * sem)
+    return IntervalEstimate(mean, mean - margin, mean + margin, confidence, int(arr.size))
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    *,
+    n_resamples: int = 2_000,
+    confidence: float = 0.95,
+    seed: RngLike = None,
+) -> IntervalEstimate:
+    """Percentile-bootstrap confidence interval for any statistic.
+
+    Parameters
+    ----------
+    values:
+        The observed sample.
+    statistic:
+        Function mapping a 1-D array to a scalar (default: the mean).
+    n_resamples:
+        Bootstrap resamples to draw.
+    confidence:
+        Nominal coverage.
+    seed:
+        Randomness source (resampling is the only randomness).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValidationError("cannot bootstrap zero observations")
+    if not (0.0 < confidence < 1.0):
+        raise ValidationError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 1:
+        raise ValidationError("n_resamples must be positive")
+    rng = ensure_rng(seed)
+    point = float(statistic(arr))
+    if arr.size == 1:
+        return IntervalEstimate(point, point, point, confidence, 1)
+    idx = rng.integers(0, arr.size, size=(int(n_resamples), arr.size))
+    resampled = np.apply_along_axis(statistic, 1, arr[idx])
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(resampled, [alpha, 1.0 - alpha])
+    return IntervalEstimate(point, float(low), float(high), confidence, int(arr.size))

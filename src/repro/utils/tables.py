@@ -1,0 +1,72 @@
+"""Plain-text table rendering for the experiment harness output.
+
+The reproduction's deliverable for each figure is the numeric series the
+figure plots; :func:`render_table` formats those series the same way for
+every experiment so EXPERIMENTS.md and the CLI output stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value, precision: int = 3) -> str:
+    """Format a cell: floats to ``precision`` decimals, the rest via str()."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row tuples; every row must have ``len(headers)`` cells.
+    precision:
+        Decimal places used for float cells.
+    title:
+        Optional title line printed above the table.
+
+    Returns
+    -------
+    str
+        A multi-line string; no trailing newline.
+    """
+    str_rows = []
+    for row in rows:
+        cells = [format_value(cell, precision) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but there are {len(headers)} headers"
+            )
+        str_rows.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in str_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_line(cells) for cells in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Reusable argument-validation helpers.
+
+Each helper raises :class:`repro.exceptions.ValidationError` with a message
+naming the offending argument, so failures surface at the public API
+boundary instead of deep inside numpy broadcasting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_nonnegative",
+    "require_in_unit_interval",
+    "require_probability",
+    "require_shape",
+    "as_float_array",
+    "as_sorted_unique",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Validate that a scalar is strictly positive and finite."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValidationError(f"{name} must be a finite positive number, got {value!r}")
+
+
+def require_nonnegative(value: float, name: str) -> None:
+    """Validate that a scalar is non-negative and finite."""
+    if not np.isfinite(value) or value < 0:
+        raise ValidationError(f"{name} must be a finite non-negative number, got {value!r}")
+
+
+def require_in_unit_interval(array: np.ndarray, name: str) -> None:
+    """Validate that every element of ``array`` lies in ``[0, 1]``."""
+    arr = np.asarray(array)
+    if arr.size and (np.min(arr) < 0.0 or np.max(arr) > 1.0):
+        raise ValidationError(f"every element of {name} must lie in [0, 1]")
+
+
+def require_probability(value: float, name: str, *, open_interval: bool = False) -> None:
+    """Validate that a scalar is a probability.
+
+    With ``open_interval=True`` the endpoints 0 and 1 are excluded, which
+    matches the paper's requirement ``delta_j in (0, 1)``.
+    """
+    if open_interval:
+        if not (0.0 < value < 1.0):
+            raise ValidationError(f"{name} must lie in the open interval (0, 1), got {value!r}")
+    elif not (0.0 <= value <= 1.0):
+        raise ValidationError(f"{name} must lie in [0, 1], got {value!r}")
+
+
+def require_shape(array: np.ndarray, shape: Sequence[int], name: str) -> None:
+    """Validate the exact shape of an array."""
+    arr = np.asarray(array)
+    if arr.shape != tuple(shape):
+        raise ValidationError(
+            f"{name} must have shape {tuple(shape)}, got {arr.shape}"
+        )
+
+
+def as_float_array(values, name: str, *, ndim: int | None = None) -> np.ndarray:
+    """Convert ``values`` to a float64 array, validating finiteness.
+
+    Returns a new array (never a view of the input), so callers may store
+    it in frozen dataclasses without aliasing the caller's buffer.
+    """
+    arr = np.array(values, dtype=float, copy=True)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValidationError(f"{name} must be {ndim}-dimensional, got ndim={arr.ndim}")
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} must contain only finite values")
+    return arr
+
+
+def as_sorted_unique(values, name: str) -> np.ndarray:
+    """Convert to a strictly increasing float64 array, dropping duplicates."""
+    arr = as_float_array(values, name, ndim=1)
+    if arr.size == 0:
+        return arr
+    return np.unique(arr)

@@ -1,0 +1,39 @@
+"""Synthetic workload generation (paper Table I).
+
+* :mod:`~repro.workloads.settings` — the four simulation settings of
+  Table I as frozen, named configurations, including the sweep axes the
+  figures use.
+* :mod:`~repro.workloads.generator` — random auction-instance generation
+  from a setting (or from explicit parameters), plus neighboring-bid
+  perturbations for the privacy experiments.
+"""
+
+from repro.workloads.settings import (
+    SETTING_I,
+    SETTING_II,
+    SETTING_III,
+    SETTING_IV,
+    SETTINGS,
+    SimulationSetting,
+)
+from repro.workloads.geo import GeoCityConfig, GeoMarket, generate_geo_market
+from repro.workloads.generator import (
+    generate_instance,
+    generate_worker_population,
+    random_bid_perturbation,
+)
+
+__all__ = [
+    "SimulationSetting",
+    "SETTING_I",
+    "SETTING_II",
+    "SETTING_III",
+    "SETTING_IV",
+    "SETTINGS",
+    "generate_instance",
+    "GeoCityConfig",
+    "GeoMarket",
+    "generate_geo_market",
+    "generate_worker_population",
+    "random_bid_perturbation",
+]

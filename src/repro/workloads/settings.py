@@ -1,0 +1,186 @@
+"""The simulation settings of Table I.
+
+Each :class:`SimulationSetting` captures one row of the paper's Table I:
+the privacy budget, cost bounds, bundle-size range, skill and error-bound
+distributions, population sizes, and the price grid.  The paper's sweeps
+(Figures 1–4, Table II) vary exactly one axis per setting; the
+``worker_sweep`` / ``task_sweep`` fields record those axes.
+
+All random quantities are drawn uniformly from the stated ranges; costs
+and grid prices live on a 0.1-spaced lattice, exactly as in Section
+VII-B ("numbers spaced at the interval of 0.1").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "SimulationSetting",
+    "SETTING_I",
+    "SETTING_II",
+    "SETTING_III",
+    "SETTING_IV",
+    "SETTINGS",
+]
+
+
+@dataclass(frozen=True)
+class SimulationSetting:
+    """One row of Table I.
+
+    Attributes
+    ----------
+    name:
+        Roman-numeral identifier ("I" … "IV").
+    epsilon:
+        Privacy budget ε.
+    c_min, c_max:
+        Public cost bounds.
+    bundle_size:
+        Inclusive (low, high) range of the interested-bundle cardinality
+        ``|Γ*_i|``.
+    skill_range:
+        Inclusive range the skills θ_ij are drawn from.
+    error_threshold_range:
+        Inclusive range the per-task error bounds δ_j are drawn from.
+    n_workers, n_tasks:
+        Default population sizes (the fixed axis of the setting).
+    worker_sweep, task_sweep:
+        The swept axis values used by the corresponding figure; ``None``
+        for the axis the setting holds fixed.
+    price_range:
+        (low, high) of the candidate price grid.
+    grid_step:
+        Lattice spacing of costs and grid prices (0.1 in the paper).
+    """
+
+    name: str
+    epsilon: float
+    c_min: float
+    c_max: float
+    bundle_size: tuple[int, int]
+    skill_range: tuple[float, float]
+    error_threshold_range: tuple[float, float]
+    n_workers: int
+    n_tasks: int
+    worker_sweep: tuple[int, ...] | None = None
+    task_sweep: tuple[int, ...] | None = None
+    price_range: tuple[float, float] = (35.0, 60.0)
+    grid_step: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValidationError("epsilon must be positive")
+        if not (0 <= self.c_min < self.c_max):
+            raise ValidationError("need 0 <= c_min < c_max")
+        lo, hi = self.bundle_size
+        if not (1 <= lo <= hi):
+            raise ValidationError("bundle_size range must satisfy 1 <= low <= high")
+        if not (0 <= self.skill_range[0] <= self.skill_range[1] <= 1):
+            raise ValidationError("skill_range must be within [0, 1]")
+        dlo, dhi = self.error_threshold_range
+        if not (0 < dlo <= dhi < 1):
+            raise ValidationError("error_threshold_range must be within (0, 1)")
+        if self.n_workers < 1 or self.n_tasks < 1:
+            raise ValidationError("population sizes must be positive")
+        if not (self.c_min <= self.price_range[0] <= self.price_range[1] <= self.c_max):
+            raise ValidationError("price_range must be within [c_min, c_max]")
+        if self.grid_step <= 0:
+            raise ValidationError("grid_step must be positive")
+
+    def price_grid(self) -> np.ndarray:
+        """The candidate price grid: a ``grid_step`` lattice over ``price_range``."""
+        low, high = self.price_range
+        n_points = int(round((high - low) / self.grid_step)) + 1
+        return np.round(low + self.grid_step * np.arange(n_points), 10)
+
+    def cost_lattice(self) -> np.ndarray:
+        """The lattice costs are drawn from: ``grid_step`` spacing on [c_min, c_max]."""
+        n_points = int(round((self.c_max - self.c_min) / self.grid_step)) + 1
+        return np.round(self.c_min + self.grid_step * np.arange(n_points), 10)
+
+    def with_population(self, *, n_workers: int | None = None, n_tasks: int | None = None) -> "SimulationSetting":
+        """Copy of the setting with a different population size (sweep point)."""
+        return SimulationSetting(
+            name=self.name,
+            epsilon=self.epsilon,
+            c_min=self.c_min,
+            c_max=self.c_max,
+            bundle_size=self.bundle_size,
+            skill_range=self.skill_range,
+            error_threshold_range=self.error_threshold_range,
+            n_workers=self.n_workers if n_workers is None else int(n_workers),
+            n_tasks=self.n_tasks if n_tasks is None else int(n_tasks),
+            worker_sweep=self.worker_sweep,
+            task_sweep=self.task_sweep,
+            price_range=self.price_range,
+            grid_step=self.grid_step,
+        )
+
+
+SETTING_I = SimulationSetting(
+    name="I",
+    epsilon=0.1,
+    c_min=10.0,
+    c_max=60.0,
+    bundle_size=(10, 20),
+    skill_range=(0.1, 0.9),
+    error_threshold_range=(0.1, 0.2),
+    n_workers=120,
+    n_tasks=30,
+    worker_sweep=tuple(range(80, 141, 5)),
+)
+"""Table I, setting I: K = 30 fixed, N swept 80–140 (Figure 1)."""
+
+SETTING_II = SimulationSetting(
+    name="II",
+    epsilon=0.1,
+    c_min=10.0,
+    c_max=60.0,
+    bundle_size=(10, 20),
+    skill_range=(0.1, 0.9),
+    error_threshold_range=(0.1, 0.2),
+    n_workers=120,
+    n_tasks=30,
+    task_sweep=tuple(range(20, 51, 2)),
+)
+"""Table I, setting II: N = 120 fixed, K swept 20–50 (Figure 2)."""
+
+SETTING_III = SimulationSetting(
+    name="III",
+    epsilon=0.1,
+    c_min=10.0,
+    c_max=60.0,
+    bundle_size=(50, 150),
+    skill_range=(0.1, 0.9),
+    error_threshold_range=(0.1, 0.2),
+    n_workers=1000,
+    n_tasks=200,
+    worker_sweep=tuple(range(800, 1401, 50)),
+)
+"""Table I, setting III: K = 200 fixed, N swept 800–1400 (Figure 3)."""
+
+SETTING_IV = SimulationSetting(
+    name="IV",
+    epsilon=0.1,
+    c_min=10.0,
+    c_max=60.0,
+    bundle_size=(50, 150),
+    skill_range=(0.1, 0.9),
+    error_threshold_range=(0.1, 0.2),
+    n_workers=1000,
+    n_tasks=200,
+    task_sweep=tuple(range(200, 501, 20)),
+)
+"""Table I, setting IV: N = 1000 fixed, K swept 200–500 (Figure 4)."""
+
+SETTINGS: Mapping[str, SimulationSetting] = {
+    s.name: s for s in (SETTING_I, SETTING_II, SETTING_III, SETTING_IV)
+}
+"""All Table I settings keyed by their Roman numeral."""

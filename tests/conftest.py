@@ -1,0 +1,64 @@
+"""Shared fixtures: hand-built toy markets and a shrunken Table-I setting.
+
+The toy instances are small enough that expected values can be verified
+by hand (or brute force) in the tests; ``tiny_setting`` gives generated
+markets that keep every solver fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.auction.bids import Bid, BidProfile
+from repro.auction.instance import AuctionInstance
+from repro.workloads.settings import SimulationSetting
+
+
+@pytest.fixture
+def toy_instance() -> AuctionInstance:
+    """Three workers, two tasks, three grid prices — fully hand-checkable.
+
+    * worker 0: bundle {0},    price 1, quality 0.64 on task 0
+    * worker 1: bundle {1},    price 2, quality 0.64 on task 1
+    * worker 2: bundle {0, 1}, price 3, quality 0.64 on both
+    * demands: 0.5 per task (one covering worker suffices)
+
+    Feasibility: price 1 affords only worker 0 (task 1 uncovered) — not
+    feasible; price 2 affords workers {0, 1} — feasible; price 3 affords
+    everyone.  So the feasible price set is {2, 3}.
+    """
+    bids = BidProfile([Bid([0], 1.0), Bid([1], 2.0), Bid([0, 1], 3.0)])
+    quality = np.full((3, 2), 0.64)
+    return AuctionInstance(
+        bids=bids,
+        quality=quality,
+        demands=np.array([0.5, 0.5]),
+        price_grid=np.array([1.0, 2.0, 3.0]),
+        c_min=1.0,
+        c_max=3.0,
+    )
+
+
+@pytest.fixture
+def tiny_setting() -> SimulationSetting:
+    """A Table-I-shaped setting small enough for exhaustive solvers."""
+    return SimulationSetting(
+        name="tiny",
+        epsilon=0.5,
+        c_min=1.0,
+        c_max=10.0,
+        bundle_size=(3, 5),
+        skill_range=(0.3, 0.95),
+        error_threshold_range=(0.3, 0.5),
+        n_workers=25,
+        n_tasks=6,
+        price_range=(4.0, 10.0),
+        grid_step=0.5,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded generator for tests needing ad-hoc randomness."""
+    return np.random.default_rng(12345)

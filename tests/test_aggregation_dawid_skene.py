@@ -1,0 +1,107 @@
+"""Unit tests for repro.aggregation.dawid_skene."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.dawid_skene import dawid_skene
+from repro.exceptions import ValidationError
+from repro.mcs.sensing import collect_labels
+
+
+def planted_labels(n_workers=12, n_tasks=60, seed=0, skill_low=0.55, skill_high=0.95):
+    """Labels drawn from the DS generative model with known skills."""
+    rng = np.random.default_rng(seed)
+    truth = rng.choice((-1, 1), size=n_tasks)
+    skills = rng.uniform(skill_low, skill_high, size=(n_workers, 1)) * np.ones(
+        (1, n_tasks)
+    )
+    assignments = np.ones((n_workers, n_tasks), dtype=bool)
+    labels = collect_labels(skills, truth, assignments, seed=rng)
+    return labels, truth, skills[:, 0]
+
+
+class TestRecovery:
+    def test_recovers_planted_truth(self):
+        labels, truth, _skills = planted_labels()
+        result = dawid_skene(labels)
+        accuracy = np.mean(result.labels == truth)
+        assert accuracy >= 0.95
+
+    def test_skill_estimates_correlate_with_truth(self):
+        labels, _truth, skills = planted_labels(n_tasks=200, seed=1)
+        result = dawid_skene(labels)
+        corr = np.corrcoef(result.worker_skills, skills)[0, 1]
+        assert corr > 0.8
+
+    def test_beats_majority_with_skew(self):
+        # Two experts, ten noisy workers: DS should out-infer majority.
+        rng = np.random.default_rng(2)
+        truth = rng.choice((-1, 1), size=120)
+        skills = np.concatenate([np.full(2, 0.97), np.full(10, 0.55)])
+        skill_matrix = skills[:, None] * np.ones((1, 120))
+        labels = collect_labels(
+            skill_matrix, truth, np.ones_like(skill_matrix, dtype=bool), seed=rng
+        )
+        from repro.aggregation.majority import majority_vote
+
+        ds_acc = np.mean(dawid_skene(labels).labels == truth)
+        mv_acc = np.mean(majority_vote(labels) == truth)
+        assert ds_acc >= mv_acc
+
+
+class TestInterface:
+    def test_posterior_shape_and_range(self):
+        labels, *_ = planted_labels(n_workers=5, n_tasks=20)
+        result = dawid_skene(labels)
+        assert result.posterior_positive.shape == (20,)
+        assert np.all((0 < result.posterior_positive) & (result.posterior_positive < 1))
+
+    def test_skill_matrix_broadcast(self):
+        labels, *_ = planted_labels(n_workers=5, n_tasks=20)
+        result = dawid_skene(labels)
+        matrix = result.skill_matrix(n_tasks=7)
+        assert matrix.shape == (5, 7)
+        assert np.allclose(matrix[:, 0], matrix[:, 6])
+
+    def test_partial_labelling_supported(self):
+        labels, *_ = planted_labels(n_workers=8, n_tasks=40, seed=3)
+        mask = np.random.default_rng(4).random(labels.shape) < 0.5
+        sparse = np.where(mask, labels, 0)
+        # Keep only tasks that still have labels.
+        covered = (sparse != 0).any(axis=0)
+        result = dawid_skene(sparse[:, covered])
+        assert result.posterior_positive.shape == (int(covered.sum()),)
+
+    def test_reports_iterations_and_loglik(self):
+        labels, *_ = planted_labels(n_workers=5, n_tasks=20)
+        result = dawid_skene(labels)
+        assert result.n_iterations >= 1
+        assert np.isfinite(result.log_likelihood)
+
+
+class TestValidation:
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            dawid_skene(np.array([1, -1]))
+
+    def test_rejects_invalid_values(self):
+        with pytest.raises(ValidationError, match="-1, 0"):
+            dawid_skene(np.array([[2, 1]]))
+
+    def test_rejects_unlabelled_task(self):
+        with pytest.raises(ValidationError, match="at least one label"):
+            dawid_skene(np.array([[1, 0], [1, 0]]))
+
+
+class TestConvergenceFlag:
+    def test_converged_on_easy_data(self):
+        labels, *_ = planted_labels(n_workers=8, n_tasks=40)
+        assert dawid_skene(labels).converged
+
+    def test_iteration_cap_returns_best_iterate(self):
+        """A one-iteration cap cannot converge but must still return."""
+        labels, truth, _ = planted_labels(n_workers=10, n_tasks=60, seed=5)
+        result = dawid_skene(labels, max_iterations=1)
+        assert not result.converged
+        assert result.n_iterations == 1
+        assert result.posterior_positive.shape == (60,)

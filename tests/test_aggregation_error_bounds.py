@@ -1,0 +1,86 @@
+"""Unit tests for repro.aggregation.error_bounds (Lemma 1 arithmetic)."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.error_bounds import (
+    achieved_error_bound,
+    coverage_demands,
+    quality_matrix,
+    required_coverage,
+)
+from repro.exceptions import ValidationError
+
+
+class TestQualityMatrix:
+    def test_formula(self):
+        q = quality_matrix(np.array([[0.9, 0.5, 0.1]]))
+        assert q[0].tolist() == [
+            pytest.approx(0.64),
+            pytest.approx(0.0),
+            pytest.approx(0.64),
+        ]
+
+    def test_random_guesser_is_worthless(self):
+        assert quality_matrix(np.array([[0.5]]))[0, 0] == 0.0
+
+    def test_perfect_and_antiperfect_equal(self):
+        q = quality_matrix(np.array([[1.0, 0.0]]))
+        assert q[0, 0] == q[0, 1] == 1.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            quality_matrix(np.array([[1.1]]))
+
+    def test_output_in_unit_interval(self, rng):
+        q = quality_matrix(rng.uniform(0, 1, (5, 5)))
+        assert np.all((0 <= q) & (q <= 1))
+
+
+class TestRequiredCoverage:
+    def test_formula(self):
+        assert required_coverage(0.1) == pytest.approx(2 * np.log(10))
+
+    def test_looser_bound_needs_less(self):
+        assert required_coverage(0.4) < required_coverage(0.1)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_non_open_interval(self, bad):
+        with pytest.raises(ValidationError):
+            required_coverage(bad)
+
+
+class TestCoverageDemands:
+    def test_vectorized(self):
+        demands = coverage_demands([0.1, 0.2])
+        assert demands[0] == pytest.approx(required_coverage(0.1))
+        assert demands[1] == pytest.approx(required_coverage(0.2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            coverage_demands([])
+
+    def test_bad_element_rejected(self):
+        with pytest.raises(ValidationError):
+            coverage_demands([0.1, 1.0])
+
+
+class TestAchievedErrorBound:
+    def test_inverts_required_coverage(self):
+        delta = 0.15
+        assert achieved_error_bound(required_coverage(delta)) == pytest.approx(delta)
+
+    def test_zero_coverage_is_vacuous(self):
+        assert achieved_error_bound(0.0) == 1.0
+
+    def test_scalar_returns_float(self):
+        assert isinstance(achieved_error_bound(1.0), float)
+
+    def test_array_returns_array(self):
+        out = achieved_error_bound(np.array([0.0, 2 * np.log(10)]))
+        assert isinstance(out, np.ndarray)
+        assert out[1] == pytest.approx(0.1)
+
+    def test_negative_coverage_rejected(self):
+        with pytest.raises(ValidationError):
+            achieved_error_bound(-1.0)

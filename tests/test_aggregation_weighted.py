@@ -1,0 +1,89 @@
+"""Unit tests for repro.aggregation.weighted and .majority."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.majority import majority_vote
+from repro.aggregation.weighted import weighted_aggregate, weighted_scores
+from repro.exceptions import ValidationError
+
+
+class TestWeightedScores:
+    def test_single_confident_worker(self):
+        labels = np.array([[1]])
+        skills = np.array([[0.9]])
+        assert weighted_scores(labels, skills)[0] == pytest.approx(0.8)
+
+    def test_below_half_skill_gets_negative_weight(self):
+        # A θ=0.1 worker's +1 vote *counts against* +1.
+        labels = np.array([[1]])
+        skills = np.array([[0.1]])
+        assert weighted_scores(labels, skills)[0] == pytest.approx(-0.8)
+
+    def test_missing_labels_contribute_nothing(self):
+        labels = np.array([[1], [0]])
+        skills = np.array([[0.9], [0.9]])
+        assert weighted_scores(labels, skills)[0] == pytest.approx(0.8)
+
+    def test_opposing_votes_cancel_by_weight(self):
+        labels = np.array([[1], [-1]])
+        skills = np.array([[0.8], [0.8]])
+        assert weighted_scores(labels, skills)[0] == pytest.approx(0.0)
+
+    def test_invalid_label_value_rejected(self):
+        with pytest.raises(ValidationError, match="-1, 0"):
+            weighted_scores(np.array([[2]]), np.array([[0.9]]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="match"):
+            weighted_scores(np.array([[1]]), np.array([[0.9, 0.8]]))
+
+
+class TestWeightedAggregate:
+    def test_stronger_worker_wins_disagreement(self):
+        labels = np.array([[1], [-1]])
+        skills = np.array([[0.9], [0.6]])
+        assert weighted_aggregate(labels, skills)[0] == 1
+
+    def test_tie_resolution(self):
+        labels = np.array([[0]])
+        skills = np.array([[0.9]])
+        assert weighted_aggregate(labels, skills, tie_value=-1)[0] == -1
+        assert weighted_aggregate(labels, skills, tie_value=1)[0] == 1
+
+    def test_bad_tie_value_rejected(self):
+        with pytest.raises(ValidationError, match="tie_value"):
+            weighted_aggregate(np.array([[1]]), np.array([[0.9]]), tie_value=0)
+
+    def test_output_always_pm_one(self, rng):
+        labels = rng.choice([-1, 0, 1], size=(6, 10))
+        skills = rng.uniform(0, 1, (6, 10))
+        out = weighted_aggregate(labels, skills)
+        assert np.all(np.isin(out, (-1, 1)))
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        labels = np.array([[1], [1], [-1]])
+        assert majority_vote(labels)[0] == 1
+
+    def test_ignores_missing(self):
+        labels = np.array([[1], [0], [0]])
+        assert majority_vote(labels)[0] == 1
+
+    def test_tie_goes_to_tie_value(self):
+        labels = np.array([[1], [-1]])
+        assert majority_vote(labels, tie_value=-1)[0] == -1
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValidationError):
+            majority_vote(np.array([[3]]))
+
+    def test_weighting_beats_majority_with_skilled_minority(self):
+        """The reason the platform weights: one expert vs two guessers."""
+        from repro.aggregation.weighted import weighted_aggregate
+
+        labels = np.array([[1], [-1], [-1]])
+        skills = np.array([[0.99], [0.52], [0.52]])
+        assert majority_vote(labels)[0] == -1
+        assert weighted_aggregate(labels, skills)[0] == 1

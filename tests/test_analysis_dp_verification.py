@@ -1,0 +1,57 @@
+"""Unit tests for repro.analysis.dp_verification (Theorem 2 audits)."""
+
+import pytest
+
+from repro.analysis.dp_verification import dp_audit
+from repro.mechanisms.baseline import BaselineAuction
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+from repro.workloads.generator import generate_instance
+
+
+class TestDPAudit:
+    @pytest.mark.parametrize("mechanism_cls", [DPHSRCAuction, BaselineAuction])
+    def test_empirical_epsilon_within_budget(self, tiny_setting, mechanism_cls):
+        epsilon = tiny_setting.epsilon
+        instance, _ = generate_instance(tiny_setting, seed=0)
+        report = dp_audit(
+            mechanism_cls(epsilon=epsilon),
+            instance,
+            tiny_setting,
+            epsilon,
+            n_neighbors=5,
+            seed=1,
+        )
+        assert report.satisfied
+        assert report.empirical_epsilon <= epsilon + 1e-9
+        assert report.n_neighbors == 5
+
+    def test_leakage_nonnegative_and_reported_per_neighbor(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=2)
+        report = dp_audit(
+            DPHSRCAuction(epsilon=0.5), instance, tiny_setting, 0.5,
+            n_neighbors=4, seed=3,
+        )
+        assert len(report.kl_leakages) == 4
+        assert all(l >= 0 for l in report.kl_leakages)
+        assert report.mean_kl_leakage >= 0
+
+    def test_larger_epsilon_leaks_more(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=4)
+        small = dp_audit(
+            DPHSRCAuction(epsilon=0.1), instance, tiny_setting, 0.1,
+            n_neighbors=5, seed=5,
+        )
+        large = dp_audit(
+            DPHSRCAuction(epsilon=20.0), instance, tiny_setting, 20.0,
+            n_neighbors=5, seed=5,
+        )
+        assert large.mean_kl_leakage >= small.mean_kl_leakage
+
+    def test_zero_neighbors_degenerate(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=6)
+        report = dp_audit(
+            DPHSRCAuction(epsilon=0.5), instance, tiny_setting, 0.5,
+            n_neighbors=0, seed=7,
+        )
+        assert report.empirical_epsilon == 0.0
+        assert report.mean_kl_leakage == 0.0

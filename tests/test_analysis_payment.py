@@ -1,0 +1,108 @@
+"""Unit tests for repro.analysis.payment."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.payment import (
+    approximation_ratio,
+    exact_payment_stats,
+    sampled_payment_stats,
+)
+from repro.auction.mechanism import PricePMF
+
+
+def two_point_pmf():
+    return PricePMF(
+        prices=np.array([2.0, 4.0]),
+        probabilities=np.array([0.5, 0.5]),
+        winner_sets=(np.array([0]), np.array([0, 1])),
+        n_workers=3,
+    )
+
+
+class TestSampledStats:
+    def test_converges_to_exact(self):
+        pmf = two_point_pmf()
+        stats = sampled_payment_stats(pmf, n_samples=100_000, seed=0)
+        exact = exact_payment_stats(pmf)
+        assert stats.mean == pytest.approx(exact.mean, rel=0.02)
+        assert stats.std == pytest.approx(exact.std, rel=0.05)
+
+    def test_sample_count_recorded(self):
+        stats = sampled_payment_stats(two_point_pmf(), n_samples=100, seed=1)
+        assert stats.n_samples == 100
+
+    def test_point_mass_has_zero_std(self):
+        pmf = PricePMF(
+            prices=np.array([3.0]),
+            probabilities=np.array([1.0]),
+            winner_sets=(np.array([0, 1]),),
+            n_workers=2,
+        )
+        stats = sampled_payment_stats(pmf, n_samples=50, seed=2)
+        assert stats.mean == 6.0
+        assert stats.std == 0.0
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            sampled_payment_stats(two_point_pmf(), n_samples=0)
+
+    def test_reproducible(self):
+        a = sampled_payment_stats(two_point_pmf(), 1000, seed=3)
+        b = sampled_payment_stats(two_point_pmf(), 1000, seed=3)
+        assert a.mean == b.mean
+
+
+class TestExactStats:
+    def test_moments(self):
+        stats = exact_payment_stats(two_point_pmf())
+        # payments: 2 and 8, each with prob 0.5
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.std == pytest.approx(3.0)
+        assert stats.n_samples == 0
+
+
+class TestApproximationRatio:
+    def test_basic(self):
+        assert approximation_ratio(150.0, 100.0) == pytest.approx(1.5)
+
+    def test_optimal_is_one(self):
+        assert approximation_ratio(100.0, 100.0) == 1.0
+
+    def test_rejects_zero_optimal(self):
+        with pytest.raises(Exception):
+            approximation_ratio(1.0, 0.0)
+
+
+class TestSocialCost:
+    def test_sums_winner_costs(self):
+        from repro.analysis.payment import social_cost
+        from repro.auction.outcome import AuctionOutcome
+
+        outcome = AuctionOutcome(winners=[0, 2], price=5.0, n_workers=3)
+        assert social_cost(outcome, np.array([1.0, 9.0, 2.5])) == 3.5
+
+    def test_empty_winners(self):
+        from repro.analysis.payment import social_cost
+        from repro.auction.outcome import AuctionOutcome
+
+        outcome = AuctionOutcome(winners=[], price=5.0, n_workers=2)
+        assert social_cost(outcome, np.array([1.0, 2.0])) == 0.0
+
+    def test_social_cost_never_exceeds_payment_under_ir(self, tiny_setting):
+        """With truthful bids and IR, payment >= social cost."""
+        from repro.analysis.payment import social_cost
+        from repro.mechanisms.dp_hsrc import DPHSRCAuction
+        from repro.workloads.generator import generate_instance
+
+        instance, pool = generate_instance(tiny_setting, seed=0)
+        outcome = DPHSRCAuction(epsilon=0.5).run(instance, seed=1)
+        assert social_cost(outcome, pool.costs) <= outcome.total_payment + 1e-9
+
+    def test_short_cost_vector_rejected(self):
+        from repro.analysis.payment import social_cost
+        from repro.auction.outcome import AuctionOutcome
+
+        outcome = AuctionOutcome(winners=[2], price=5.0, n_workers=3)
+        with pytest.raises(ValueError, match="shorter"):
+            social_cost(outcome, np.array([1.0, 2.0]))

@@ -1,0 +1,55 @@
+"""Unit tests for repro.analysis.rationality (Theorem 4 audits)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rationality import rationality_audit
+from repro.auction.mechanism import PricePMF
+from repro.mechanisms.baseline import BaselineAuction
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+from repro.workloads.generator import generate_instance
+
+
+class TestRationalityAudit:
+    @pytest.mark.parametrize("mechanism_cls", [DPHSRCAuction, BaselineAuction])
+    def test_holds_for_both_private_mechanisms(self, tiny_setting, mechanism_cls):
+        instance, _ = generate_instance(tiny_setting, seed=0)
+        pmf = mechanism_cls(epsilon=0.5).price_pmf(instance)
+        report = rationality_audit(pmf, instance)
+        assert report.satisfied
+        assert report.min_margin >= 0.0
+        assert report.violations == ()
+
+    def test_detects_violation(self, toy_instance):
+        """A hand-built PMF paying a winner below her ask must be flagged."""
+        bad_pmf = PricePMF(
+            prices=np.array([2.0]),
+            probabilities=np.array([1.0]),
+            winner_sets=(np.array([2]),),  # worker 2 asks 3.0 > price 2.0
+            n_workers=3,
+        )
+        report = rationality_audit(bad_pmf, toy_instance)
+        assert not report.satisfied
+        assert report.min_margin == pytest.approx(-1.0)
+        assert (0, 2) in report.violations
+
+    def test_empty_winner_sets_are_fine(self, toy_instance):
+        pmf = PricePMF(
+            prices=np.array([2.0]),
+            probabilities=np.array([1.0]),
+            winner_sets=(np.array([], dtype=int),),
+            n_workers=3,
+        )
+        report = rationality_audit(pmf, toy_instance)
+        assert report.satisfied
+        assert report.min_margin == 0.0
+
+    def test_min_margin_value(self, toy_instance):
+        pmf = PricePMF(
+            prices=np.array([3.0]),
+            probabilities=np.array([1.0]),
+            winner_sets=(np.array([0, 1]),),  # asks 1.0 and 2.0
+            n_workers=3,
+        )
+        report = rationality_audit(pmf, toy_instance)
+        assert report.min_margin == pytest.approx(1.0)  # 3.0 - 2.0

@@ -1,0 +1,114 @@
+"""Unit tests for repro.analysis.truthfulness (Theorem 3 audits)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.truthfulness import price_deviations, truthfulness_audit
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+from repro.workloads.generator import generate_instance
+
+
+class TestPriceDeviations:
+    def test_within_cost_bounds(self):
+        prices = price_deviations(5.0, 1.0, 10.0, seed=0)
+        assert all(1.0 <= p <= 10.0 for p in prices)
+
+    def test_excludes_true_cost(self):
+        prices = price_deviations(5.0, 1.0, 10.0, n_deviations=20, seed=1)
+        assert all(not np.isclose(p, 5.0) for p in prices)
+
+    def test_count_roughly_requested(self):
+        prices = price_deviations(0.0, 1.0, 10.0, n_deviations=10, seed=2)
+        assert 8 <= len(prices) <= 10
+
+
+class TestTruthfulnessAudit:
+    @pytest.fixture
+    def market(self, tiny_setting):
+        instance, pool = generate_instance(tiny_setting, seed=0)
+        return tiny_setting, instance, pool
+
+    def test_gamma_holds_for_price_deviations(self, market):
+        """Theorem 3 on a real market: gains never exceed γ = ε·Δc."""
+        setting, instance, pool = market
+        auction = DPHSRCAuction(epsilon=setting.epsilon)
+        for worker in (0, 5, 12):
+            report = truthfulness_audit(
+                auction,
+                instance,
+                worker=worker,
+                true_cost=float(pool.costs[worker]),
+                epsilon=setting.epsilon,
+                seed=1,
+            )
+            assert report.satisfied, (
+                f"worker {worker} gains {report.max_gain} > gamma {report.gamma}"
+            )
+
+    def test_gamma_holds_for_bundle_deviations(self, market):
+        setting, instance, pool = market
+        auction = DPHSRCAuction(epsilon=setting.epsilon)
+        worker = 3
+        truthful_bundle = sorted(instance.bids[worker].bundle)
+        # Misreport: drop a task / add a task.
+        smaller = truthful_bundle[:-1]
+        larger = sorted(set(truthful_bundle) | {0, 1})
+        report = truthfulness_audit(
+            auction,
+            instance,
+            worker=worker,
+            true_cost=float(pool.costs[worker]),
+            epsilon=setting.epsilon,
+            deviation_prices=[],
+            deviation_bundles=[smaller, larger],
+            seed=2,
+        )
+        assert report.satisfied
+
+    def test_report_fields(self, market):
+        setting, instance, pool = market
+        report = truthfulness_audit(
+            DPHSRCAuction(epsilon=setting.epsilon),
+            instance,
+            worker=0,
+            true_cost=float(pool.costs[0]),
+            epsilon=setting.epsilon,
+            deviation_prices=[setting.c_min, setting.c_max],
+            seed=3,
+        )
+        assert report.worker == 0
+        assert len(report.deviations) <= 2
+        assert report.gamma == pytest.approx(
+            setting.epsilon * (setting.c_max - setting.c_min)
+        )
+
+    def test_empty_deviations_trivially_satisfied(self, market):
+        setting, instance, pool = market
+        report = truthfulness_audit(
+            DPHSRCAuction(epsilon=setting.epsilon),
+            instance,
+            worker=0,
+            true_cost=float(pool.costs[0]),
+            epsilon=setting.epsilon,
+            deviation_prices=[],
+            seed=4,
+        )
+        assert report.max_gain == 0.0
+        assert report.satisfied
+
+    def test_overbidding_above_grid_loses_utility(self, market):
+        """A worker pricing herself out of the market gets zero utility."""
+        setting, instance, pool = market
+        auction = DPHSRCAuction(epsilon=setting.epsilon)
+        worker = int(np.argmin(pool.costs))
+        report = truthfulness_audit(
+            auction,
+            instance,
+            worker=worker,
+            true_cost=float(pool.costs[worker]),
+            epsilon=setting.epsilon,
+            deviation_prices=[setting.c_max],
+            seed=5,
+        )
+        if report.deviations:  # the deviation kept the market feasible
+            assert report.deviations[0].expected_utility <= report.truthful_utility + report.gamma

@@ -1,0 +1,113 @@
+"""Unit tests for repro.auction.bids."""
+
+import numpy as np
+import pytest
+
+from repro.auction.bids import Bid, BidProfile
+from repro.exceptions import ValidationError
+
+
+class TestBid:
+    def test_constructs_frozenset_bundle(self):
+        bid = Bid([2, 0, 2], 5.0)
+        assert bid.bundle == frozenset({0, 2})
+        assert bid.price == 5.0
+
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(ValidationError, match="at least one task"):
+            Bid([], 1.0)
+
+    def test_negative_task_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            Bid([-1], 1.0)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValidationError, match="price"):
+            Bid([0], -0.5)
+
+    def test_nan_price_rejected(self):
+        with pytest.raises(ValidationError):
+            Bid([0], float("nan"))
+
+    def test_zero_price_allowed(self):
+        assert Bid([0], 0.0).price == 0.0
+
+    def test_with_price_preserves_bundle(self):
+        bid = Bid([1, 2], 3.0).with_price(4.0)
+        assert bid.bundle == frozenset({1, 2})
+        assert bid.price == 4.0
+
+    def test_with_bundle_preserves_price(self):
+        bid = Bid([1], 3.0).with_bundle([0, 4])
+        assert bid.bundle == frozenset({0, 4})
+        assert bid.price == 3.0
+
+    def test_covers(self):
+        bid = Bid([1, 3], 1.0)
+        assert bid.covers(3)
+        assert not bid.covers(2)
+
+    def test_hashable_and_equal(self):
+        assert Bid([0, 1], 2.0) == Bid([1, 0], 2.0)
+        assert hash(Bid([0], 1.0)) == hash(Bid([0], 1.0))
+
+    def test_immutable(self):
+        bid = Bid([0], 1.0)
+        with pytest.raises(AttributeError):
+            bid.price = 2.0
+
+
+class TestBidProfile:
+    def _profile(self):
+        return BidProfile([Bid([0], 1.0), Bid([1], 3.0), Bid([0, 1], 2.0)])
+
+    def test_len_iter_getitem(self):
+        profile = self._profile()
+        assert len(profile) == 3
+        assert [b.price for b in profile] == [1.0, 3.0, 2.0]
+        assert profile[1].price == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="at least one bid"):
+            BidProfile([])
+
+    def test_non_bid_rejected(self):
+        with pytest.raises(ValidationError, match="not a Bid"):
+            BidProfile([Bid([0], 1.0), "nope"])
+
+    def test_prices_vector(self):
+        assert self._profile().prices.tolist() == [1.0, 3.0, 2.0]
+
+    def test_replace_returns_new_profile(self):
+        profile = self._profile()
+        new = profile.replace(0, Bid([1], 9.0))
+        assert new[0].price == 9.0
+        assert profile[0].price == 1.0  # original untouched
+        assert new[1] == profile[1]
+
+    def test_replace_out_of_range(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            self._profile().replace(3, Bid([0], 1.0))
+
+    def test_bundle_mask(self):
+        mask = self._profile().bundle_mask(2)
+        assert mask.tolist() == [[True, False], [False, True], [True, True]]
+
+    def test_bundle_mask_task_out_of_range(self):
+        with pytest.raises(ValidationError, match="only 1 tasks"):
+            self._profile().bundle_mask(1)
+
+    def test_min_max_price(self):
+        profile = self._profile()
+        assert profile.min_price() == 1.0
+        assert profile.max_price() == 3.0
+
+    def test_equality_and_hash(self):
+        assert self._profile() == self._profile()
+        assert hash(self._profile()) == hash(self._profile())
+
+    def test_prices_is_fresh_array(self):
+        profile = self._profile()
+        p = profile.prices
+        p[0] = 99.0
+        assert profile.prices[0] == 1.0

@@ -1,0 +1,129 @@
+"""Unit tests for repro.auction.instance."""
+
+import numpy as np
+import pytest
+
+from repro.auction.bids import Bid, BidProfile
+from repro.auction.instance import AuctionInstance
+from repro.exceptions import ValidationError
+
+
+def make_instance(**overrides):
+    kwargs = dict(
+        bids=BidProfile([Bid([0], 1.0), Bid([1], 2.0)]),
+        quality=np.array([[0.5, 0.3], [0.2, 0.8]]),
+        demands=np.array([0.4, 0.4]),
+        price_grid=np.array([1.0, 2.0, 3.0]),
+        c_min=1.0,
+        c_max=3.0,
+    )
+    kwargs.update(overrides)
+    return AuctionInstance(**kwargs)
+
+
+class TestConstruction:
+    def test_basic_shapes(self):
+        inst = make_instance()
+        assert inst.n_workers == 2
+        assert inst.n_tasks == 2
+
+    def test_bid_count_mismatch(self):
+        with pytest.raises(ValidationError, match="rows"):
+            make_instance(bids=BidProfile([Bid([0], 1.0)]))
+
+    def test_demand_length_mismatch(self):
+        with pytest.raises(ValidationError, match="columns"):
+            make_instance(demands=np.array([0.4]))
+
+    def test_quality_out_of_unit_interval(self):
+        with pytest.raises(ValidationError, match="\\[0, 1\\]"):
+            make_instance(quality=np.array([[1.5, 0.3], [0.2, 0.8]]))
+
+    def test_negative_demand(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            make_instance(demands=np.array([-0.1, 0.4]))
+
+    def test_empty_price_grid(self):
+        with pytest.raises(ValidationError, match="price_grid"):
+            make_instance(price_grid=np.array([]))
+
+    def test_cmin_above_cmax(self):
+        with pytest.raises(ValidationError, match="c_min"):
+            make_instance(c_min=5.0)
+
+    def test_bundle_task_out_of_range(self):
+        with pytest.raises(ValidationError, match="only 2 tasks"):
+            make_instance(bids=BidProfile([Bid([0], 1.0), Bid([5], 2.0)]))
+
+    def test_price_grid_sorted_and_deduped(self):
+        inst = make_instance(price_grid=np.array([3.0, 1.0, 3.0, 2.0]))
+        assert inst.price_grid.tolist() == [1.0, 2.0, 3.0]
+
+    def test_arrays_readonly(self):
+        inst = make_instance()
+        with pytest.raises(ValueError):
+            inst.quality[0, 0] = 9.0
+
+
+class TestDerivedViews:
+    def test_prices(self):
+        assert make_instance().prices.tolist() == [1.0, 2.0]
+
+    def test_bundle_mask(self):
+        mask = make_instance().bundle_mask
+        assert mask.tolist() == [[True, False], [False, True]]
+
+    def test_effective_quality_masks_outside_bundle(self):
+        eff = make_instance().effective_quality
+        assert eff.tolist() == [[0.5, 0.0], [0.0, 0.8]]
+
+    def test_affordable_mask(self):
+        inst = make_instance()
+        assert inst.affordable_mask(1.0).tolist() == [True, False]
+        assert inst.affordable_mask(2.0).tolist() == [True, True]
+        assert inst.affordable_mask(0.5).tolist() == [False, False]
+
+    def test_total_demand(self):
+        assert make_instance().total_demand() == pytest.approx(0.8)
+
+
+class TestReplaceBid:
+    def test_neighbor_shares_task_data(self):
+        inst = make_instance()
+        neighbor = inst.replace_bid(0, Bid([1], 2.5))
+        assert neighbor.bids[0].price == 2.5
+        assert neighbor.bids[1] == inst.bids[1]
+        assert np.array_equal(neighbor.quality, inst.quality)
+        # Original is untouched.
+        assert inst.bids[0].price == 1.0
+
+    def test_neighbor_recomputes_effective_quality(self):
+        inst = make_instance()
+        neighbor = inst.replace_bid(0, Bid([1], 1.0))
+        assert neighbor.effective_quality.tolist() == [[0.0, 0.3], [0.0, 0.8]]
+
+
+class TestFromSkills:
+    def test_lemma1_transformations(self):
+        bids = BidProfile([Bid([0], 1.0)])
+        inst = AuctionInstance.from_skills(
+            bids=bids,
+            skills=np.array([[0.9]]),
+            error_thresholds=[0.1],
+            price_grid=[1.0, 2.0],
+            c_min=1.0,
+            c_max=2.0,
+        )
+        assert inst.quality[0, 0] == pytest.approx((2 * 0.9 - 1) ** 2)
+        assert inst.demands[0] == pytest.approx(2 * np.log(10))
+
+    def test_rejects_bad_skills(self):
+        with pytest.raises(ValidationError):
+            AuctionInstance.from_skills(
+                bids=BidProfile([Bid([0], 1.0)]),
+                skills=np.array([[1.2]]),
+                error_thresholds=[0.1],
+                price_grid=[1.0],
+                c_min=1.0,
+                c_max=2.0,
+            )

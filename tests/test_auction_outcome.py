@@ -1,0 +1,74 @@
+"""Unit tests for repro.auction.outcome."""
+
+import numpy as np
+import pytest
+
+from repro.auction.outcome import AuctionOutcome
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_default_payments(self):
+        out = AuctionOutcome(winners=[2, 0], price=5.0, n_workers=4)
+        assert out.payments.tolist() == [5.0, 0.0, 5.0, 0.0]
+        assert out.winners.tolist() == [0, 2]  # sorted
+
+    def test_explicit_payments_kept(self):
+        out = AuctionOutcome(
+            winners=[0], price=5.0, n_workers=2, payments=np.array([4.0, 0.0])
+        )
+        assert out.payments.tolist() == [4.0, 0.0]
+
+    def test_winner_out_of_range(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            AuctionOutcome(winners=[5], price=1.0, n_workers=3)
+
+    def test_duplicate_winner_rejected(self):
+        with pytest.raises(ValidationError, match="unique"):
+            AuctionOutcome(winners=[1, 1], price=1.0, n_workers=3)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValidationError, match="price"):
+            AuctionOutcome(winners=[0], price=-1.0, n_workers=2)
+
+    def test_payment_length_mismatch(self):
+        with pytest.raises(ValidationError, match="workers"):
+            AuctionOutcome(
+                winners=[0], price=1.0, n_workers=2, payments=np.array([1.0])
+            )
+
+    def test_empty_winner_set_allowed(self):
+        out = AuctionOutcome(winners=[], price=1.0, n_workers=2)
+        assert out.n_winners == 0
+        assert out.total_payment == 0.0
+
+
+class TestDerived:
+    def test_total_payment(self):
+        out = AuctionOutcome(winners=[0, 1], price=3.0, n_workers=3)
+        assert out.total_payment == 6.0
+
+    def test_winner_set_and_is_winner(self):
+        out = AuctionOutcome(winners=[1], price=3.0, n_workers=3)
+        assert out.winner_set == frozenset({1})
+        assert out.is_winner(1)
+        assert not out.is_winner(0)
+
+    def test_utility_winner_and_loser(self):
+        out = AuctionOutcome(winners=[0], price=3.0, n_workers=2)
+        assert out.utility(0, cost=1.0) == 2.0
+        assert out.utility(1, cost=1.0) == 0.0
+
+    def test_utility_can_be_negative_for_overpriced_cost(self):
+        out = AuctionOutcome(winners=[0], price=3.0, n_workers=1)
+        assert out.utility(0, cost=4.0) == -1.0
+
+    def test_utilities_vector(self):
+        out = AuctionOutcome(winners=[0, 2], price=3.0, n_workers=3)
+        util = out.utilities(np.array([1.0, 1.0, 5.0]))
+        assert util.tolist() == [2.0, 0.0, -2.0]
+
+    def test_utilities_length_check(self):
+        out = AuctionOutcome(winners=[0], price=3.0, n_workers=2)
+        with pytest.raises(ValidationError, match="length"):
+            out.utilities(np.array([1.0]))

@@ -1,0 +1,34 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        assert "table2" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_fast_flag_and_seed(self, capsys):
+        assert main(["ablation_grid", "--fast", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Ablation" in out
+
+    def test_fast_runs_are_seed_deterministic(self, capsys):
+        main(["figure5", "--fast", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["figure5", "--fast", "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,94 @@
+"""Unit tests for repro.coverage.bounds (Lemma 2 arithmetic)."""
+
+import numpy as np
+import pytest
+
+from repro.coverage.bounds import (
+    greedy_approximation_factor,
+    harmonic_number,
+    max_row_gain,
+    multiplicity,
+)
+from repro.coverage.problem import CoverProblem
+
+
+class TestHarmonicNumber:
+    def test_small_values(self):
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(2) == pytest.approx(1.5)
+        assert harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_zero_and_negative(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(-3) == 0.0
+
+    def test_float_input_floored(self):
+        assert harmonic_number(2.9) == pytest.approx(1.5)
+
+    def test_asymptotic_matches_exact_at_crossover(self):
+        # Compare the asymptotic branch against direct summation.
+        m = 150_000
+        exact = float(np.sum(1.0 / np.arange(1, m + 1)))
+        assert harmonic_number(m) == pytest.approx(exact, rel=1e-10)
+
+    def test_monotone(self):
+        values = [harmonic_number(m) for m in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+
+
+class TestProblemQuantities:
+    def problem(self):
+        return CoverProblem(
+            gains=np.array([[0.5, 0.3], [0.1, 0.1]]),
+            demands=np.array([1.0, 0.5]),
+        )
+
+    def test_max_row_gain(self):
+        assert max_row_gain(self.problem()) == pytest.approx(0.8)
+
+    def test_max_row_gain_empty(self):
+        p = CoverProblem(gains=np.zeros((0, 2)), demands=np.zeros(2))
+        assert max_row_gain(p) == 0.0
+
+    def test_multiplicity(self):
+        # total demand 1.5 at unit 0.1 → 15
+        assert multiplicity(self.problem(), unit=0.1) == 15
+
+    def test_multiplicity_rounds_up(self):
+        p = CoverProblem(gains=np.ones((1, 1)), demands=np.array([0.25]))
+        assert multiplicity(p, unit=0.1) == 3
+
+    def test_multiplicity_rejects_bad_unit(self):
+        with pytest.raises(Exception):
+            multiplicity(self.problem(), unit=0.0)
+
+    def test_greedy_factor_formula(self):
+        p = self.problem()
+        # beta is counted in units of 0.1: ceil(0.8 / 0.1) = 8.
+        expected = 2.0 * 8 * harmonic_number(15)
+        assert greedy_approximation_factor(p, unit=0.1) == pytest.approx(expected)
+
+    def test_factor_never_below_one_on_degenerate_instances(self):
+        # The hypothesis-found counterexample: tiny raw beta.
+        p = CoverProblem(gains=np.array([[0.1]]), demands=np.array([0.05]))
+        assert greedy_approximation_factor(p, unit=0.05) >= 1.0
+
+
+class TestLemma2Holds:
+    """The 2βH_m guarantee must hold empirically for the greedy solver."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_within_factor(self, seed):
+        from repro.coverage.exact import solve_exact
+        from repro.coverage.greedy import greedy_cover
+
+        rng = np.random.default_rng(seed)
+        gains = np.round(rng.uniform(0, 1, (15, 4)), 2)
+        demands = np.round(rng.uniform(0.5, 2.0, 4), 2)
+        p = CoverProblem(gains=gains, demands=demands)
+        if not p.is_coverable():
+            pytest.skip("instance not coverable")
+        greedy_size = greedy_cover(p).size
+        opt_size = solve_exact(p, backend="milp").size
+        factor = greedy_approximation_factor(p, unit=0.01)
+        assert greedy_size <= factor * opt_size + 1e-9

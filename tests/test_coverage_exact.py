@@ -1,0 +1,103 @@
+"""Unit tests for repro.coverage.exact (both backends)."""
+
+import numpy as np
+import pytest
+
+from repro.coverage.exact import solve_exact
+from repro.coverage.greedy import greedy_cover
+from repro.coverage.problem import CoverProblem
+from repro.exceptions import InfeasibleError
+
+
+BACKENDS = ["milp", "bnb"]
+
+
+def random_problem(seed, n_items=15, n_constraints=4, demand=1.5):
+    rng = np.random.default_rng(seed)
+    gains = rng.uniform(0, 1, (n_items, n_constraints))
+    gains[rng.random(gains.shape) < 0.4] = 0.0  # sparsity, like bundles
+    return CoverProblem(gains=gains, demands=np.full(n_constraints, demand))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBothBackends:
+    def test_disjoint_unit_cover(self, backend):
+        p = CoverProblem(gains=np.eye(3), demands=np.ones(3))
+        result = solve_exact(p, backend=backend)
+        assert result.size == 3
+        assert result.certified
+
+    def test_single_strong_item_beats_many_weak(self, backend):
+        p = CoverProblem(
+            gains=np.array([[0.5, 0.5], [0.5, 0.5], [1.0, 1.0]]),
+            demands=np.array([1.0, 1.0]),
+        )
+        result = solve_exact(p, backend=backend)
+        assert result.size == 1
+        assert result.selection.tolist() == [2]
+
+    def test_zero_demand_selects_nothing(self, backend):
+        p = CoverProblem(gains=np.ones((2, 1)), demands=np.array([0.0]))
+        assert solve_exact(p, backend=backend).size == 0
+
+    def test_infeasible_raises(self, backend):
+        p = CoverProblem(gains=np.full((2, 1), 0.3), demands=np.array([1.0]))
+        with pytest.raises(InfeasibleError):
+            solve_exact(p, backend=backend)
+
+    def test_solution_is_feasible(self, backend):
+        p = random_problem(0)
+        result = solve_exact(p, backend=backend)
+        assert p.is_feasible(result.selection)
+
+    def test_optimal_not_worse_than_greedy(self, backend):
+        for seed in range(5):
+            p = random_problem(seed)
+            if not p.is_coverable():
+                continue
+            assert solve_exact(p, backend=backend).size <= greedy_cover(p).size
+
+    def test_backend_recorded(self, backend):
+        p = CoverProblem(gains=np.eye(2), demands=np.ones(2))
+        assert solve_exact(p, backend=backend).backend == backend
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_backends_agree_on_optimal_size(self, seed):
+        p = random_problem(seed, n_items=12, n_constraints=3)
+        if not p.is_coverable():
+            pytest.skip("instance not coverable")
+        milp = solve_exact(p, backend="milp")
+        bnb = solve_exact(p, backend="bnb")
+        assert milp.size == bnb.size
+
+
+class TestMilpSpecifics:
+    def test_time_limit_still_returns_feasible(self):
+        # Even with an absurdly small limit HiGHS gets an incumbent from
+        # presolve on such a small instance; we only require feasibility.
+        p = random_problem(1, n_items=20, n_constraints=5)
+        result = solve_exact(p, backend="milp", time_limit=10.0)
+        assert p.is_feasible(result.selection)
+
+
+class TestBnbSpecifics:
+    def test_node_limit_exhaustion_raises(self):
+        from repro.exceptions import SolverError
+
+        p = random_problem(2, n_items=25, n_constraints=6, demand=2.5)
+        if not p.is_coverable():
+            pytest.skip("instance not coverable")
+        with pytest.raises(SolverError, match="node limit"):
+            solve_exact(p, backend="bnb", node_limit=1)
+
+    def test_reports_nodes(self):
+        p = CoverProblem(gains=np.eye(2), demands=np.ones(2))
+        assert solve_exact(p, backend="bnb").nodes >= 1
+
+
+def test_unknown_backend_rejected():
+    p = CoverProblem(gains=np.eye(2), demands=np.ones(2))
+    with pytest.raises(ValueError, match="unknown exact backend"):
+        solve_exact(p, backend="magic")

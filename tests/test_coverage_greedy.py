@@ -1,0 +1,177 @@
+"""Unit tests for repro.coverage.greedy."""
+
+import numpy as np
+import pytest
+
+from repro.coverage.greedy import greedy_cover, static_order_cover
+from repro.coverage.problem import CoverProblem
+from repro.exceptions import InfeasibleError
+
+
+class TestGreedyCover:
+    def test_single_item_suffices(self):
+        p = CoverProblem(
+            gains=np.array([[0.4, 0.4], [1.0, 1.0]]), demands=np.array([1.0, 1.0])
+        )
+        result = greedy_cover(p)
+        assert result.selection.tolist() == [1]
+
+    def test_picks_truncated_gain_not_raw_gain(self):
+        # Item 0 has huge raw gain but on an almost-satisfied constraint;
+        # the truncated gain rule must prefer item 1.
+        p = CoverProblem(
+            gains=np.array([[10.0, 0.0], [0.2, 1.0]]),
+            demands=np.array([0.1, 1.0]),
+        )
+        result = greedy_cover(p)
+        assert result.order[0] == 1
+
+    def test_result_is_feasible(self):
+        rng = np.random.default_rng(0)
+        p = CoverProblem(gains=rng.uniform(0, 1, (20, 5)), demands=np.full(5, 2.0))
+        result = greedy_cover(p)
+        assert p.is_feasible(result.selection)
+
+    def test_zero_demand_selects_nothing(self):
+        p = CoverProblem(gains=np.ones((3, 2)), demands=np.zeros(2))
+        assert greedy_cover(p).size == 0
+
+    def test_infeasible_raises(self):
+        p = CoverProblem(gains=np.full((2, 1), 0.3), demands=np.array([1.0]))
+        with pytest.raises(InfeasibleError):
+            greedy_cover(p)
+
+    def test_no_useful_item_raises(self):
+        p = CoverProblem(
+            gains=np.array([[1.0, 0.0]]), demands=np.array([0.5, 0.5])
+        )
+        with pytest.raises(InfeasibleError):
+            greedy_cover(p)
+
+    def test_order_records_selection_sequence(self):
+        p = CoverProblem(
+            gains=np.array([[0.5, 0.0], [0.0, 0.5], [0.4, 0.4]]),
+            demands=np.array([0.5, 0.5]),
+        )
+        result = greedy_cover(p)
+        assert set(result.order) == set(result.selection.tolist())
+        assert len(result.order) == result.size
+
+    def test_never_selects_item_twice(self):
+        rng = np.random.default_rng(1)
+        p = CoverProblem(gains=rng.uniform(0, 0.5, (30, 8)), demands=np.full(8, 2.0))
+        result = greedy_cover(p)
+        assert len(set(result.order)) == len(result.order)
+
+    def test_exact_demand_boundary(self):
+        # Item exactly meets the demand; no infeasibility from float dust.
+        p = CoverProblem(gains=np.array([[0.7]]), demands=np.array([0.7]))
+        assert greedy_cover(p).size == 1
+
+
+class TestStaticOrderCover:
+    def test_default_order_is_descending_static_gain(self):
+        p = CoverProblem(
+            gains=np.array([[0.2, 0.2], [0.9, 0.9], [0.5, 0.5]]),
+            demands=np.array([1.0, 1.0]),
+        )
+        result = static_order_cover(p)
+        assert result.order[0] == 1  # biggest static gain first
+        assert p.is_feasible(result.selection)
+
+    def test_explicit_order_respected(self):
+        p = CoverProblem(
+            gains=np.array([[1.0, 1.0], [1.0, 1.0]]), demands=np.array([1.0, 1.0])
+        )
+        result = static_order_cover(p, order=[1, 0])
+        assert result.selection.tolist() == [1]
+
+    def test_stops_as_soon_as_feasible(self):
+        p = CoverProblem(
+            gains=np.array([[1.0], [1.0], [1.0]]), demands=np.array([1.0])
+        )
+        assert static_order_cover(p).size == 1
+
+    def test_infeasible_raises(self):
+        p = CoverProblem(gains=np.full((2, 1), 0.2), demands=np.array([1.0]))
+        with pytest.raises(InfeasibleError):
+            static_order_cover(p)
+
+    def test_static_never_beats_adaptive_on_truncation_trap(self):
+        # A high raw-gain item wastes capacity on a satisfied constraint;
+        # the static rule takes it first and pays with a bigger cover.
+        gains = np.array(
+            [
+                [5.0, 0.05],
+                [0.0, 0.5],
+                [0.0, 0.5],
+            ]
+        )
+        p = CoverProblem(gains=gains, demands=np.array([0.5, 1.0]))
+        adaptive = greedy_cover(p).size
+        static = static_order_cover(p).size
+        assert adaptive <= static
+
+
+class TestLazyGreedyEquivalence:
+    """The lazy (CELF) implementation must match the eager textbook rule."""
+
+    @staticmethod
+    def _eager_reference(problem):
+        residual = problem.demands.copy()
+        gains = problem.gains
+        order = []
+        available = np.ones(problem.n_items, dtype=bool)
+        while True:
+            active = residual > 1e-9
+            if not np.any(active):
+                break
+            truncated = np.minimum(gains[:, active], residual[active])
+            scores = truncated.sum(axis=1)
+            scores[~available] = -np.inf
+            best = int(np.argmax(scores))
+            if scores[best] <= 1e-9:
+                raise InfeasibleError("reference: no useful item")
+            order.append(best)
+            available[best] = False
+            residual[active] -= truncated[best]
+            np.clip(residual, 0, None, out=residual)
+        return order
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_eager_selection_size(self, seed):
+        rng = np.random.default_rng(seed)
+        n, k = int(rng.integers(3, 25)), int(rng.integers(1, 6))
+        gains = rng.uniform(0, 1, (n, k))
+        gains[rng.random((n, k)) < 0.4] = 0.0
+        demands = gains.sum(axis=0) * float(rng.uniform(0.1, 0.8))
+        problem = CoverProblem(gains=gains, demands=demands)
+        eager_order = self._eager_reference(problem)
+        lazy = greedy_cover(problem)
+        # Tie-breaking may legitimately differ; size and feasibility not.
+        assert lazy.size == len(eager_order)
+        assert problem.is_feasible(lazy.selection)
+
+    def test_prefix_matches_until_first_exact_tie(self):
+        """Divergence from the eager rule may only happen at exact ties."""
+        rng = np.random.default_rng(99)
+        gains = rng.uniform(0.1, 1, (15, 4)) * np.pi / 3
+        demands = gains.sum(axis=0) * 0.5
+        problem = CoverProblem(gains=gains, demands=demands)
+        eager_order = self._eager_reference(problem)
+        lazy_order = list(greedy_cover(problem).order)
+        assert len(eager_order) == len(lazy_order)
+
+        # Replay the eager run; at the first divergence the two chosen
+        # items must have *exactly* equal truncated gains.
+        residual = problem.demands.copy()
+        for step, (a, b) in enumerate(zip(eager_order, lazy_order)):
+            active = residual > 1e-9
+            if a != b:
+                gain_a = np.minimum(problem.gains[a, active], residual[active]).sum()
+                gain_b = np.minimum(problem.gains[b, active], residual[active]).sum()
+                assert gain_a == gain_b
+                break
+            residual[active] -= np.minimum(
+                problem.gains[a, active], residual[active]
+            )

@@ -1,0 +1,98 @@
+"""Unit tests for repro.coverage.lp."""
+
+import numpy as np
+import pytest
+
+from repro.coverage.lp import lp_lower_bound
+from repro.coverage.problem import CoverProblem
+from repro.exceptions import InfeasibleError
+
+
+class TestLPLowerBound:
+    def test_exact_on_integral_instance(self):
+        # Disjoint unit covers: LP optimum is integral (= 2).
+        p = CoverProblem(gains=np.eye(2), demands=np.array([1.0, 1.0]))
+        result = lp_lower_bound(p)
+        assert result.objective == pytest.approx(2.0)
+        assert result.integral_bound == 2
+
+    def test_fractional_relaxation_below_integer(self):
+        # One constraint of demand 1, items of gain 0.6: LP = 1/0.6 < 2 = OPT.
+        p = CoverProblem(gains=np.full((3, 1), 0.6), demands=np.array([1.0]))
+        result = lp_lower_bound(p)
+        assert result.objective == pytest.approx(1.0 / 0.6)
+        assert result.integral_bound == 2
+
+    def test_integral_bound_guards_solver_noise(self):
+        p = CoverProblem(gains=np.eye(3), demands=np.ones(3))
+        assert lp_lower_bound(p).integral_bound == 3
+
+    def test_zero_demand_gives_zero(self):
+        p = CoverProblem(gains=np.ones((2, 1)), demands=np.array([0.0]))
+        result = lp_lower_bound(p)
+        assert result.objective == 0.0
+
+    def test_forced_in_raises_objective(self):
+        p = CoverProblem(gains=np.eye(2), demands=np.array([1.0, 0.0]))
+        base = lp_lower_bound(p).objective
+        forced = lp_lower_bound(p, forced_in=np.array([1])).objective
+        assert forced == pytest.approx(base + 1.0)
+
+    def test_forced_out_can_make_infeasible(self):
+        p = CoverProblem(gains=np.eye(2), demands=np.array([1.0, 1.0]))
+        with pytest.raises(InfeasibleError):
+            lp_lower_bound(p, forced_out=np.array([0]))
+
+    def test_conflicting_restrictions_rejected(self):
+        p = CoverProblem(gains=np.eye(2), demands=np.ones(2))
+        with pytest.raises(InfeasibleError, match="forced both"):
+            lp_lower_bound(p, forced_in=np.array([0]), forced_out=np.array([0]))
+
+    def test_infeasible_problem_detected(self):
+        p = CoverProblem(gains=np.full((2, 1), 0.1), demands=np.array([1.0]))
+        with pytest.raises(InfeasibleError):
+            lp_lower_bound(p)
+
+    def test_fractional_items_detection(self):
+        p = CoverProblem(gains=np.full((3, 1), 0.6), demands=np.array([1.0]))
+        result = lp_lower_bound(p)
+        assert result.fractional_items().size > 0
+
+    def test_solution_within_bounds(self):
+        rng = np.random.default_rng(3)
+        p = CoverProblem(gains=rng.uniform(0, 1, (10, 4)), demands=np.full(4, 1.5))
+        result = lp_lower_bound(p)
+        assert np.all(result.solution >= -1e-9)
+        assert np.all(result.solution <= 1 + 1e-9)
+
+
+class TestSimplexBackend:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_highs_backend(self, seed):
+        rng = np.random.default_rng(seed)
+        gains = rng.uniform(0, 1, (10, 3))
+        gains[rng.random(gains.shape) < 0.3] = 0.0
+        p = CoverProblem(gains=gains, demands=gains.sum(axis=0) * 0.4)
+        a = lp_lower_bound(p, backend="highs")
+        b = lp_lower_bound(p, backend="simplex")
+        assert a.objective == pytest.approx(b.objective, abs=1e-6)
+
+    def test_restrictions_match_highs(self):
+        rng = np.random.default_rng(42)
+        gains = rng.uniform(0, 1, (8, 3))
+        p = CoverProblem(gains=gains, demands=gains.sum(axis=0) * 0.5)
+        forced_in = np.array([0, 3])
+        forced_out = np.array([1])
+        a = lp_lower_bound(p, forced_in=forced_in, forced_out=forced_out, backend="highs")
+        b = lp_lower_bound(p, forced_in=forced_in, forced_out=forced_out, backend="simplex")
+        assert a.objective == pytest.approx(b.objective, abs=1e-6)
+
+    def test_infeasible_restriction_detected(self):
+        p = CoverProblem(gains=np.eye(2), demands=np.ones(2))
+        with pytest.raises(InfeasibleError):
+            lp_lower_bound(p, forced_out=np.array([0]), backend="simplex")
+
+    def test_unknown_backend_rejected(self):
+        p = CoverProblem(gains=np.eye(2), demands=np.ones(2))
+        with pytest.raises(ValueError, match="LP backend"):
+            lp_lower_bound(p, backend="cplex")

@@ -1,0 +1,83 @@
+"""Unit tests for repro.coverage.problem."""
+
+import numpy as np
+import pytest
+
+from repro.coverage.problem import CoverProblem
+from repro.exceptions import ValidationError
+
+
+def simple_problem():
+    # 3 items, 2 constraints.
+    gains = np.array([[1.0, 0.0], [0.0, 1.0], [0.6, 0.6]])
+    demands = np.array([1.0, 1.0])
+    return CoverProblem(gains=gains, demands=demands)
+
+
+class TestConstruction:
+    def test_shapes(self):
+        p = simple_problem()
+        assert p.n_items == 3
+        assert p.n_constraints == 2
+
+    def test_column_mismatch(self):
+        with pytest.raises(ValidationError, match="columns"):
+            CoverProblem(gains=np.ones((2, 3)), demands=np.ones(2))
+
+    def test_negative_gain_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            CoverProblem(gains=np.array([[-0.1]]), demands=np.array([1.0]))
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            CoverProblem(gains=np.array([[0.5]]), demands=np.array([-1.0]))
+
+    def test_arrays_readonly(self):
+        p = simple_problem()
+        with pytest.raises(ValueError):
+            p.gains[0, 0] = 2.0
+
+
+class TestQueries:
+    def test_coverage(self):
+        p = simple_problem()
+        assert p.coverage([0, 2]).tolist() == [1.6, 0.6]
+
+    def test_coverage_empty_selection(self):
+        assert simple_problem().coverage([]).tolist() == [0.0, 0.0]
+
+    def test_residual_clipped_at_zero(self):
+        p = simple_problem()
+        res = p.residual([0, 1, 2])
+        assert np.all(res == 0.0)
+
+    def test_residual_partial(self):
+        p = simple_problem()
+        assert p.residual([2]).tolist() == [pytest.approx(0.4), pytest.approx(0.4)]
+
+    def test_is_feasible(self):
+        p = simple_problem()
+        assert p.is_feasible([0, 1])
+        assert not p.is_feasible([2])
+
+    def test_is_coverable(self):
+        assert simple_problem().is_coverable()
+        p = CoverProblem(gains=np.array([[0.1]]), demands=np.array([1.0]))
+        assert not p.is_coverable()
+
+    def test_active_constraints(self):
+        p = CoverProblem(
+            gains=np.ones((1, 3)), demands=np.array([0.0, 1.0, 0.0])
+        )
+        assert p.active_constraints.tolist() == [1]
+
+    def test_restrict(self):
+        p = simple_problem()
+        sub, mapping = p.restrict([2, 0])
+        assert sub.n_items == 2
+        assert mapping.tolist() == [2, 0]
+        assert sub.gains[0].tolist() == [0.6, 0.6]
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            simple_problem().coverage([5])

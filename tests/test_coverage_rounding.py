@@ -1,0 +1,74 @@
+"""Unit tests for repro.coverage.rounding (LP randomized rounding)."""
+
+import numpy as np
+import pytest
+
+from repro.coverage.problem import CoverProblem
+from repro.coverage.rounding import randomized_rounding_cover
+from repro.exceptions import InfeasibleError
+
+
+def random_problem(seed, n_items=20, n_constraints=5):
+    rng = np.random.default_rng(seed)
+    gains = rng.uniform(0, 1, (n_items, n_constraints))
+    gains[rng.random(gains.shape) < 0.3] = 0.0
+    demands = gains.sum(axis=0) * 0.4
+    return CoverProblem(gains=gains, demands=demands)
+
+
+class TestRandomizedRounding:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_always_feasible(self, seed):
+        p = random_problem(seed)
+        result = randomized_rounding_cover(p, seed=seed)
+        assert p.is_feasible(result.selection)
+
+    def test_infeasible_rejected(self):
+        p = CoverProblem(gains=np.full((2, 1), 0.1), demands=np.array([1.0]))
+        with pytest.raises(InfeasibleError):
+            randomized_rounding_cover(p)
+
+    def test_reports_lp_objective(self):
+        p = random_problem(0)
+        result = randomized_rounding_cover(p, seed=0)
+        assert result.lp_objective > 0
+        assert result.size >= int(np.floor(result.lp_objective))
+
+    def test_reproducible(self):
+        p = random_problem(1)
+        a = randomized_rounding_cover(p, seed=5)
+        b = randomized_rounding_cover(p, seed=5)
+        assert np.array_equal(a.selection, b.selection)
+
+    def test_higher_inflation_selects_more(self):
+        p = random_problem(2)
+        sizes_low = [
+            randomized_rounding_cover(p, inflation=1.0, seed=s).size for s in range(8)
+        ]
+        sizes_high = [
+            randomized_rounding_cover(p, inflation=6.0, seed=s).size for s in range(8)
+        ]
+        assert np.mean(sizes_high) >= np.mean(sizes_low)
+
+    def test_zero_demand_selects_little(self):
+        p = CoverProblem(gains=np.ones((3, 2)), demands=np.zeros(2))
+        result = randomized_rounding_cover(p, seed=0)
+        assert result.size == 0
+
+    def test_comparable_to_greedy(self):
+        """Rounding is the same asymptotic class as greedy: sizes comparable."""
+        from repro.coverage.greedy import greedy_cover
+
+        ratios = []
+        for seed in range(6):
+            p = random_problem(seed)
+            greedy = greedy_cover(p).size
+            rounded = randomized_rounding_cover(p, seed=seed).size
+            if greedy:
+                ratios.append(rounded / greedy)
+        assert np.mean(ratios) < 3.0
+
+    def test_bad_inflation_rejected(self):
+        p = random_problem(3)
+        with pytest.raises(Exception):
+            randomized_rounding_cover(p, inflation=0.0)

@@ -1,0 +1,75 @@
+"""Unit tests for repro.coverage.simplex (from-scratch LP solver)."""
+
+import numpy as np
+import pytest
+
+from repro.coverage.lp import lp_lower_bound
+from repro.coverage.problem import CoverProblem
+from repro.coverage.simplex import covering_lp_simplex
+from repro.exceptions import InfeasibleError
+
+
+def random_problem(seed, n_items=12, n_constraints=4):
+    rng = np.random.default_rng(seed)
+    gains = rng.uniform(0, 1, (n_items, n_constraints))
+    gains[rng.random(gains.shape) < 0.35] = 0.0
+    demands = gains.sum(axis=0) * rng.uniform(0.2, 0.7)
+    return CoverProblem(gains=gains, demands=demands)
+
+
+class TestAgainstHiGHS:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_objective_matches_scipy(self, seed):
+        problem = random_problem(seed)
+        ours = covering_lp_simplex(problem)
+        highs = lp_lower_bound(problem)
+        assert ours.objective == pytest.approx(highs.objective, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_solution_is_lp_feasible(self, seed):
+        problem = random_problem(seed)
+        result = covering_lp_simplex(problem)
+        x = result.solution
+        assert np.all(x >= -1e-9) and np.all(x <= 1 + 1e-9)
+        coverage = problem.gains.T @ x
+        assert np.all(coverage >= problem.demands - 1e-6)
+
+
+class TestExactCases:
+    def test_disjoint_unit_cover(self):
+        problem = CoverProblem(gains=np.eye(3), demands=np.ones(3))
+        result = covering_lp_simplex(problem)
+        assert result.objective == pytest.approx(3.0)
+        assert np.allclose(result.solution, 1.0)
+
+    def test_fractional_optimum(self):
+        # One demand of 1 against gain 0.6 items: LP x = 1/0.6 spread.
+        problem = CoverProblem(gains=np.full((3, 1), 0.6), demands=np.array([1.0]))
+        result = covering_lp_simplex(problem)
+        assert result.objective == pytest.approx(1.0 / 0.6)
+
+    def test_zero_demand_zero_objective(self):
+        problem = CoverProblem(gains=np.ones((2, 2)), demands=np.zeros(2))
+        result = covering_lp_simplex(problem)
+        assert result.objective == 0.0
+        assert result.iterations == 0
+
+    def test_infeasible_detected(self):
+        problem = CoverProblem(
+            gains=np.full((2, 1), 0.2), demands=np.array([1.0])
+        )
+        with pytest.raises(InfeasibleError, match="artificials"):
+            covering_lp_simplex(problem)
+
+    def test_binding_upper_bounds(self):
+        # Demand forces every x to its upper bound of 1.
+        problem = CoverProblem(
+            gains=np.array([[0.5], [0.5]]), demands=np.array([1.0])
+        )
+        result = covering_lp_simplex(problem)
+        assert result.objective == pytest.approx(2.0)
+        assert np.allclose(result.solution, 1.0)
+
+    def test_reports_iterations(self):
+        problem = random_problem(0)
+        assert covering_lp_simplex(problem).iterations >= 1

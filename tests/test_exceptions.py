@@ -1,0 +1,46 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.exceptions import (
+    ConvergenceError,
+    EmptyPriceSetError,
+    InfeasibleError,
+    ReproError,
+    SolverError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_cls",
+        [ValidationError, InfeasibleError, EmptyPriceSetError, SolverError, ConvergenceError],
+    )
+    def test_all_errors_are_repro_errors(self, exc_cls):
+        """One `except ReproError` catches every deliberate library failure."""
+        with pytest.raises(ReproError):
+            raise exc_cls("boom")
+
+    def test_validation_error_is_value_error(self):
+        """Idiomatic `except ValueError` call sites keep working."""
+        with pytest.raises(ValueError):
+            raise ValidationError("bad input")
+
+    def test_empty_price_set_is_infeasible(self):
+        """Callers treating both as 'no market' need only one handler."""
+        with pytest.raises(InfeasibleError):
+            raise EmptyPriceSetError("no feasible price")
+
+    def test_library_raises_through_the_hierarchy(self):
+        """End-to-end: a real library failure is catchable as ReproError."""
+        import numpy as np
+
+        from repro.coverage.greedy import greedy_cover
+        from repro.coverage.problem import CoverProblem
+
+        problem = CoverProblem(
+            gains=np.full((1, 1), 0.1), demands=np.array([5.0])
+        )
+        with pytest.raises(ReproError):
+            greedy_cover(problem)

@@ -1,0 +1,113 @@
+"""Tests for the experiment harness (fast-mode runs of every experiment)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import run_experiment
+from repro.experiments import EXPERIMENTS
+from repro.experiments.runner import ExperimentResult
+
+
+class TestRunnerResult:
+    def test_to_table_and_column(self):
+        result = ExperimentResult(
+            name="x", title="T", headers=["a", "b"], rows=[(1, 2.0), (3, 4.0)]
+        )
+        text = result.to_table()
+        assert "T" in text
+        assert result.column("b") == [2.0, 4.0]
+
+    def test_notes_rendered(self):
+        result = ExperimentResult(
+            name="x", title="T", headers=["a"], rows=[(1,)], notes=("careful",)
+        )
+        assert "note: careful" in result.to_table()
+
+    def test_unknown_column(self):
+        result = ExperimentResult(name="x", title="T", headers=["a"], rows=[(1,)])
+        with pytest.raises(ValueError):
+            result.column("zz")
+
+
+class TestTable1:
+    def test_matches_paper_parameters(self):
+        result = run_experiment("table1", fast=True)
+        assert len(result.rows) == 4
+        assert [row[0] for row in result.rows] == ["I", "II", "III", "IV"]
+
+
+class TestFigure5Fast:
+    def test_tradeoff_shape(self):
+        """Leakage must rise and payment must fall along the ε sweep."""
+        result = run_experiment("figure5", fast=True)
+        eps = result.column("epsilon")
+        payments = result.column("avg total payment")
+        leakages = result.column("mean KL leakage")
+        assert eps == sorted(eps)
+        # Monotone trends (weak, end-to-end).
+        assert payments[-1] <= payments[0]
+        assert leakages[-1] >= leakages[0]
+
+
+class TestAblationsFast:
+    def test_greedy_ablation_orders_rules(self):
+        result = run_experiment("ablation_greedy", fast=True)
+        adaptive = result.column("adaptive/opt")
+        static = result.column("static/opt")
+        assert all(a >= 1.0 - 1e-9 for a in adaptive)
+        assert np.mean(adaptive) <= np.mean(static) + 1e-9
+
+    def test_solver_ablation_backends_agree(self):
+        result = run_experiment("ablation_solver", fast=True)
+        assert all(row[2] == row[3] for row in result.rows)
+        assert any("agree" in note for note in result.notes)
+
+    def test_grid_ablation_support_grows_with_resolution(self):
+        result = run_experiment("ablation_grid", fast=True)
+        steps = result.column("grid step")
+        supports = result.column("|P|")
+        # Finer steps → larger supports.
+        pairs = sorted(zip(steps, supports))
+        assert all(
+            s2 <= s1 for (_, s1), (_, s2) in zip(pairs, pairs[1:])
+        )
+
+
+class TestFigureDriversFast:
+    def test_figure1_shape(self):
+        result = run_experiment("figure1", fast=True)
+        assert "optimal mean" in result.headers
+        for row in result.rows:
+            opt = row[result.headers.index("optimal mean")]
+            dp = row[result.headers.index("dp_hsrc mean")]
+            base = row[result.headers.index("baseline mean")]
+            assert opt <= dp * 1.001
+            assert dp <= base * 1.05
+
+    def test_figure3_has_no_optimal(self):
+        result = run_experiment("figure3", fast=True)
+        assert "optimal mean" not in result.headers
+        for row in result.rows:
+            dp = row[result.headers.index("dp_hsrc mean")]
+            base = row[result.headers.index("baseline mean")]
+            assert dp <= base * 1.05
+
+    def test_table2_runtime_asymmetry(self):
+        result = run_experiment("table2", fast=True)
+        for row in result.rows:
+            dp_time = row[result.headers.index("dp_hsrc time (s)")]
+            opt_time = row[result.headers.index("optimal time (s)")]
+            assert dp_time < opt_time  # the paper's headline asymmetry
+
+
+class TestRegistry:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("figure99")
+
+    def test_registry_modules_all_importable(self):
+        import importlib
+
+        for name in EXPERIMENTS:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            assert callable(module.run)

@@ -1,0 +1,96 @@
+"""Tests for result exports (repro.experiments.export) and CLI plumbing."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.export import FORMATS, render, to_csv, to_json
+from repro.experiments.runner import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        name="demo",
+        title="Demo result",
+        headers=["x", "value"],
+        rows=[(1, 2.5), (2, float("inf")), (3, float("nan"))],
+        notes=("a note",),
+    )
+
+
+class TestCSV:
+    def test_round_trips_through_csv_reader(self, result):
+        text = to_csv(result)
+        data_lines = [l for l in text.splitlines() if not l.startswith("#")]
+        rows = list(csv.reader(io.StringIO("\n".join(data_lines))))
+        assert rows[0] == ["x", "value"]
+        assert rows[1] == ["1", "2.5"]
+
+    def test_notes_as_comments(self, result):
+        assert "# a note" in to_csv(result)
+
+    def test_nonfinite_serialized_as_strings(self, result):
+        text = to_csv(result)
+        assert "inf" in text and "nan" in text
+
+
+class TestJSON:
+    def test_valid_json_with_metadata(self, result):
+        payload = json.loads(to_json(result))
+        assert payload["name"] == "demo"
+        assert payload["headers"] == ["x", "value"]
+        assert payload["rows"][0] == [1, 2.5]
+        assert payload["notes"] == ["a note"]
+
+    def test_nonfinite_values_stringified(self, result):
+        payload = json.loads(to_json(result))
+        assert payload["rows"][1][1] == "inf"
+        assert payload["rows"][2][1] == "nan"
+
+    def test_numpy_scalars_coerced(self):
+        import numpy as np
+
+        result = ExperimentResult(
+            name="np", title="t", headers=["a"], rows=[(np.float64(1.5),)]
+        )
+        payload = json.loads(to_json(result))
+        assert payload["rows"][0][0] == 1.5
+
+
+class TestRender:
+    def test_all_formats(self, result):
+        for fmt in FORMATS:
+            assert render(result, fmt)
+
+    def test_table_format_delegates(self, result):
+        assert "Demo result" in render(result, "table")
+
+    def test_unknown_format(self, result):
+        with pytest.raises(ValueError, match="unknown format"):
+            render(result, "xml")
+
+
+class TestCLIFormats:
+    def test_csv_to_stdout(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("setting,")
+
+    def test_json_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "t1.json"
+        assert main(["table1", "--format", "json", "--output", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["name"] == "table1"
+
+    def test_output_with_all_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["all", "--output", "x.txt"]) == 2
+        assert "single experiment" in capsys.readouterr().err

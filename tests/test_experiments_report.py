@@ -1,0 +1,47 @@
+"""Tests for the report generator (repro.experiments.report)."""
+
+import pytest
+
+import repro.experiments.report as report_module
+from repro.experiments.report import generate_report, write_report
+
+
+@pytest.fixture
+def only_table1(monkeypatch):
+    """Trim the registry so report tests stay fast."""
+    monkeypatch.setattr(report_module, "EXPERIMENTS", ("table1",))
+
+
+class TestGenerateReport:
+    def test_contains_header_and_experiment(self, only_table1):
+        text = generate_report(fast=True, seed=3)
+        assert "# Reproduction report" in text
+        assert "## table1" in text
+        assert "master seed: 3" in text
+        assert "fast (shrunken sweeps)" in text
+
+    def test_full_mode_labelled(self, only_table1):
+        text = generate_report(fast=False)
+        assert "full (paper scales)" in text
+
+    def test_table_rendered_in_code_fence(self, only_table1):
+        text = generate_report(fast=True)
+        assert "```" in text
+        assert "Table I: simulation settings" in text
+
+
+class TestWriteReport:
+    def test_writes_file(self, only_table1, tmp_path):
+        out = write_report(tmp_path / "report.md", fast=True)
+        assert out.exists()
+        assert "Reproduction report" in out.read_text()
+
+
+class TestCLIReport:
+    def test_cli_report_command(self, only_table1, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["report", "--fast"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert (tmp_path / "reproduction_report.md").exists()

@@ -1,0 +1,134 @@
+"""Integration tests: the full system working together.
+
+These exercise the complete paper pipeline — workload generation →
+auction → sensing → aggregation → audits — and the cross-module
+consistency claims the unit tests cannot see.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaselineAuction,
+    DPHSRCAuction,
+    Platform,
+    TaskSet,
+    optimal_total_payment,
+    theorem6_payment_bound,
+)
+from repro.analysis import (
+    dp_audit,
+    exact_payment_stats,
+    rationality_audit,
+    sampled_payment_stats,
+    truthfulness_audit,
+)
+from repro.workloads.generator import generate_instance, generate_worker_population
+
+
+class TestFullPaperPipeline:
+    """One instance, every claim the paper makes about it."""
+
+    @pytest.fixture(scope="class")
+    def market(self, request):
+        from repro.workloads.settings import SimulationSetting
+
+        setting = SimulationSetting(
+            name="integration",
+            epsilon=0.5,
+            c_min=1.0,
+            c_max=10.0,
+            bundle_size=(3, 5),
+            skill_range=(0.3, 0.95),
+            error_threshold_range=(0.3, 0.5),
+            n_workers=30,
+            n_tasks=6,
+            price_range=(4.0, 10.0),
+            grid_step=0.5,
+        )
+        instance, pool = generate_instance(setting, seed=42)
+        return setting, instance, pool
+
+    def test_payment_ordering_optimal_dp_baseline(self, market):
+        """R_OPT ≤ E[R_dp-hsrc]; E[R_dp-hsrc] ≲ E[R_baseline] (Figures 1–2)."""
+        setting, instance, _ = market
+        opt = optimal_total_payment(instance).total_payment
+        dp = DPHSRCAuction(setting.epsilon).expected_total_payment(instance)
+        base = BaselineAuction(setting.epsilon).expected_total_payment(instance)
+        assert opt <= dp + 1e-9
+        assert dp <= base * 1.05
+
+    def test_theorem6_envelope(self, market):
+        setting, instance, _ = market
+        dp = DPHSRCAuction(setting.epsilon).expected_total_payment(instance)
+        r_opt = optimal_total_payment(instance).total_payment
+        bound = theorem6_payment_bound(
+            instance, setting.epsilon, r_opt, unit=setting.grid_step
+        )
+        assert dp <= bound
+
+    def test_all_three_audits_pass(self, market):
+        setting, instance, pool = market
+        auction = DPHSRCAuction(setting.epsilon)
+        pmf = auction.price_pmf(instance)
+
+        assert rationality_audit(pmf, instance).satisfied
+        assert dp_audit(
+            auction, instance, setting, setting.epsilon, n_neighbors=3, seed=0
+        ).satisfied
+        worker = int(np.argmin(pool.costs))
+        assert truthfulness_audit(
+            auction, instance, worker, float(pool.costs[worker]),
+            setting.epsilon, seed=1,
+        ).satisfied
+
+    def test_sampled_statistics_match_exact(self, market):
+        setting, instance, _ = market
+        pmf = DPHSRCAuction(setting.epsilon).price_pmf(instance)
+        sampled = sampled_payment_stats(pmf, n_samples=50_000, seed=2)
+        exact = exact_payment_stats(pmf)
+        assert sampled.mean == pytest.approx(exact.mean, rel=0.02)
+
+    def test_sensing_round_meets_announced_bounds(self, market):
+        setting, instance, pool = market
+        tasks = TaskSet(
+            true_labels=np.random.default_rng(3).choice((-1, 1), pool.n_tasks),
+            error_thresholds=np.exp(-instance.demands / 2.0),
+        )
+        platform = Platform(DPHSRCAuction(setting.epsilon))
+        report = platform.run_round(pool, tasks, instance, seed=4)
+        assert bool(np.all(report.demand_met))
+        assert np.all(report.error_bounds <= tasks.error_thresholds + 1e-9)
+
+
+class TestScaleSmoke:
+    """Setting-III-scale smoke test: the big-market path stays fast."""
+
+    def test_setting_iii_point_runs(self):
+        from repro.workloads.settings import SETTING_III
+
+        instance, _pool = generate_instance(SETTING_III, seed=0, n_workers=800)
+        pmf = DPHSRCAuction(epsilon=0.1).price_pmf(instance)
+        base = BaselineAuction(epsilon=0.1).price_pmf(instance)
+        assert pmf.support_size > 0
+        assert pmf.expected_total_payment() <= base.expected_total_payment() * 1.05
+
+
+class TestExamplesRun:
+    """Every example script must execute cleanly (they are documentation)."""
+
+    @pytest.mark.parametrize(
+        "script",
+        ["quickstart.py", "pothole_patrol.py", "privacy_audit.py",
+         "longitudinal_campaign.py", "strategic_worker.py",
+         "campaign_planner.py"],
+    )
+    def test_example_script(self, script, capsys):
+        import runpy
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "examples" / script
+        runpy.run_path(str(path), run_name="__main__")
+        out = capsys.readouterr().out
+        assert len(out) > 100  # produced a real report
+        assert "VIOLATION" not in out

@@ -1,0 +1,124 @@
+"""Unit tests for repro.io (JSON serialization round-trips)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import io as repro_io
+from repro.auction.outcome import AuctionOutcome
+from repro.exceptions import ValidationError
+from repro.workloads.generator import generate_instance
+
+
+class TestInstanceRoundTrip:
+    def test_bitwise_round_trip(self, tiny_setting, tmp_path):
+        instance, _pool = generate_instance(tiny_setting, seed=0)
+        path = repro_io.save(instance, tmp_path / "inst.json")
+        restored = repro_io.load(path)
+        assert np.array_equal(restored.quality, instance.quality)
+        assert np.array_equal(restored.demands, instance.demands)
+        assert np.array_equal(restored.price_grid, instance.price_grid)
+        assert restored.bids == instance.bids
+        assert (restored.c_min, restored.c_max) == (instance.c_min, instance.c_max)
+
+    def test_restored_instance_gives_identical_pmf(self, tiny_setting, tmp_path):
+        """The ultimate check: the mechanism cannot tell the difference."""
+        from repro.mechanisms.dp_hsrc import DPHSRCAuction
+
+        instance, _pool = generate_instance(tiny_setting, seed=1)
+        restored = repro_io.load(repro_io.save(instance, tmp_path / "i.json"))
+        a = DPHSRCAuction(epsilon=0.5).price_pmf(instance)
+        b = DPHSRCAuction(epsilon=0.5).price_pmf(restored)
+        assert np.array_equal(a.probabilities, b.probabilities)
+        assert np.array_equal(a.prices, b.prices)
+
+
+class TestPoolRoundTrip:
+    def test_round_trip(self, tiny_setting, tmp_path):
+        from repro.workloads.generator import generate_worker_population
+
+        pool = generate_worker_population(tiny_setting, seed=2)
+        restored = repro_io.load(repro_io.save(pool, tmp_path / "pool.json"))
+        assert np.array_equal(restored.skills, pool.skills)
+        assert restored.bundles == pool.bundles
+        assert np.array_equal(restored.costs, pool.costs)
+
+
+class TestOutcomeRoundTrip:
+    def test_round_trip(self, tmp_path):
+        outcome = AuctionOutcome(winners=[0, 3], price=7.5, n_workers=5)
+        restored = repro_io.load(repro_io.save(outcome, tmp_path / "o.json"))
+        assert np.array_equal(restored.winners, outcome.winners)
+        assert restored.price == outcome.price
+        assert np.array_equal(restored.payments, outcome.payments)
+
+    def test_differentiated_payments_survive(self, tmp_path):
+        outcome = AuctionOutcome(
+            winners=[0, 1],
+            price=9.0,
+            n_workers=3,
+            payments=np.array([4.5, 9.0, 0.0]),
+        )
+        restored = repro_io.load(repro_io.save(outcome, tmp_path / "o.json"))
+        assert restored.payments.tolist() == [4.5, 9.0, 0.0]
+
+
+class TestErrors:
+    def test_unsupported_type_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="cannot serialize"):
+            repro_io.save({"not": "supported"}, tmp_path / "x.json")
+
+    def test_non_artifact_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValidationError, match="artifact"):
+            repro_io.load(path)
+
+    def test_unknown_type_tag_rejected(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({"type": "martian", "version": 1}))
+        with pytest.raises(ValidationError, match="unknown artifact"):
+            repro_io.load(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        from repro.io import instance_to_dict
+        from repro.workloads.generator import generate_instance as gen
+
+        payload = {"type": "worker_pool", "version": 99}
+        with pytest.raises(ValidationError, match="version"):
+            repro_io.pool_from_dict(payload)
+
+    def test_cross_type_decode_rejected(self, tiny_setting):
+        from repro.workloads.generator import generate_worker_population
+
+        pool = generate_worker_population(tiny_setting, seed=0)
+        payload = repro_io.pool_to_dict(pool)
+        with pytest.raises(ValidationError, match="expected"):
+            repro_io.instance_from_dict(payload)
+
+
+class TestPMFRoundTrip:
+    def test_round_trip_preserves_distribution(self, tiny_setting, tmp_path):
+        from repro.mechanisms.dp_hsrc import DPHSRCAuction
+
+        instance, _pool = generate_instance(tiny_setting, seed=3)
+        pmf = DPHSRCAuction(epsilon=0.5).price_pmf(instance)
+        restored = repro_io.load(repro_io.save(pmf, tmp_path / "pmf.json"))
+        assert np.allclose(restored.prices, pmf.prices)
+        assert np.allclose(restored.probabilities, pmf.probabilities)
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(restored.winner_sets, pmf.winner_sets)
+        )
+        assert restored.expected_total_payment() == pytest.approx(
+            pmf.expected_total_payment()
+        )
+
+    def test_restored_pmf_samples_identically(self, tiny_setting, tmp_path):
+        from repro.mechanisms.dp_hsrc import DPHSRCAuction
+
+        instance, _pool = generate_instance(tiny_setting, seed=4)
+        pmf = DPHSRCAuction(epsilon=0.5).price_pmf(instance)
+        restored = repro_io.load(repro_io.save(pmf, tmp_path / "pmf.json"))
+        assert restored.sample_outcome(seed=9).price == pmf.sample_outcome(seed=9).price

@@ -1,0 +1,113 @@
+"""Unit tests for repro.mcs.budget_planner."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mcs.budget_planner import (
+    invert_advanced_composition,
+    plan_campaign,
+)
+from repro.privacy.composition import advanced_composition_epsilon
+from repro.workloads.generator import generate_instance
+
+
+class TestInvertAdvancedComposition:
+    def test_round_trips_through_forward_map(self):
+        total, rounds, delta = 2.0, 50, 1e-6
+        eps0 = invert_advanced_composition(total, rounds, delta)
+        assert eps0 > 0
+        assert advanced_composition_epsilon(eps0, rounds, delta) <= total + 1e-6
+        # Maximality: nudging up breaks the budget.
+        assert advanced_composition_epsilon(eps0 * 1.01, rounds, delta) > total
+
+    def test_single_round_capped_by_total(self):
+        # For 1 round advanced composition inflates, so eps0 < total.
+        eps0 = invert_advanced_composition(1.0, 1, 1e-6)
+        assert 0 < eps0 < 1.0
+
+    def test_advanced_beats_basic_for_many_rounds(self):
+        total, delta = 5.0, 1e-9
+        rounds = 2000
+        basic = total / rounds
+        advanced = invert_advanced_composition(total, rounds, delta)
+        assert advanced > basic
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            invert_advanced_composition(0.0, 10, 1e-6)
+        with pytest.raises(ValidationError):
+            invert_advanced_composition(1.0, 0, 1e-6)
+
+
+class TestPlanCampaign:
+    @pytest.fixture(scope="class")
+    def instance(self, tiny_setting_class):
+        instance, _pool = generate_instance(tiny_setting_class, seed=0)
+        return instance
+
+    @pytest.fixture(scope="class")
+    def tiny_setting_class(self):
+        from repro.workloads.settings import SimulationSetting
+
+        return SimulationSetting(
+            name="planner",
+            epsilon=0.5,
+            c_min=1.0,
+            c_max=10.0,
+            bundle_size=(3, 5),
+            skill_range=(0.3, 0.95),
+            error_threshold_range=(0.3, 0.5),
+            n_workers=30,
+            n_tasks=6,
+            price_range=(4.0, 10.0),
+            grid_step=0.5,
+        )
+
+    def test_basic_plans_one_per_round_count(self, instance):
+        plans = plan_campaign(instance, total_epsilon=1.0, round_options=[1, 5, 10])
+        assert [p.n_rounds for p in plans] == [1, 5, 10]
+        assert all(p.accounting == "basic" for p in plans)
+
+    def test_per_round_epsilon_splits_budget(self, instance):
+        plans = plan_campaign(instance, total_epsilon=1.0, round_options=[4])
+        assert plans[0].epsilon_per_round == pytest.approx(0.25)
+
+    def test_more_rounds_cost_more_per_round_payment(self, instance):
+        """Splitting the budget raises the per-round expected payment."""
+        plans = plan_campaign(instance, total_epsilon=2.0, round_options=[1, 20])
+        one, twenty = plans
+        assert twenty.expected_payment_per_round >= one.expected_payment_per_round
+
+    def test_total_payment_identity(self, instance):
+        plans = plan_campaign(instance, total_epsilon=1.0, round_options=[7])
+        plan = plans[0]
+        assert plan.expected_total_payment == pytest.approx(
+            7 * plan.expected_payment_per_round
+        )
+
+    def test_advanced_plans_included_with_delta(self, instance):
+        plans = plan_campaign(
+            instance, total_epsilon=1.0, round_options=[3, 300], delta_slack=1e-9
+        )
+        accountings = {(p.n_rounds, p.accounting) for p in plans}
+        assert (300, "advanced") in accountings
+
+    def test_advanced_wins_for_long_campaigns(self, instance):
+        plans = plan_campaign(
+            instance, total_epsilon=1.0, round_options=[500], delta_slack=1e-9
+        )
+        by_accounting = {p.accounting: p for p in plans}
+        assert (
+            by_accounting["advanced"].epsilon_per_round
+            > by_accounting["basic"].epsilon_per_round
+        )
+        assert (
+            by_accounting["advanced"].expected_payment_per_round
+            <= by_accounting["basic"].expected_payment_per_round + 1e-9
+        )
+
+    def test_validation(self, instance):
+        with pytest.raises(ValidationError):
+            plan_campaign(instance, total_epsilon=1.0, round_options=[])
+        with pytest.raises(ValidationError):
+            plan_campaign(instance, total_epsilon=1.0, round_options=[0])

@@ -1,0 +1,98 @@
+"""Unit tests for repro.mcs.platform (full sensing rounds)."""
+
+import numpy as np
+import pytest
+
+from repro.mcs.platform import Platform
+from repro.mcs.tasks import TaskSet
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+from repro.workloads.generator import generate_instance, generate_worker_population
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture
+def round_setup(tiny_setting):
+    rng = ensure_rng(0)
+    instance, pool = generate_instance(tiny_setting, rng)
+    tasks = TaskSet.random(
+        pool.n_tasks, tiny_setting.error_threshold_range, seed=rng
+    )
+    # Rebuild the instance against the drawn tasks' thresholds so coverage
+    # demands correspond to this round.
+    instance = pool.to_instance(
+        error_thresholds=tasks.error_thresholds,
+        price_grid=tiny_setting.price_grid(),
+        c_min=tiny_setting.c_min,
+        c_max=tiny_setting.c_max,
+    )
+    return pool, tasks, instance
+
+
+class TestRunRound:
+    def test_round_structure(self, round_setup):
+        pool, tasks, instance = round_setup
+        platform = Platform(DPHSRCAuction(epsilon=0.5))
+        report = platform.run_round(pool, tasks, instance, seed=1)
+        assert report.labels.shape == (pool.n_workers, pool.n_tasks)
+        assert report.aggregated.shape == (pool.n_tasks,)
+        assert 0.0 <= report.accuracy <= 1.0
+        assert report.total_payment == report.outcome.total_payment
+
+    def test_only_winners_label(self, round_setup):
+        pool, tasks, instance = round_setup
+        platform = Platform(DPHSRCAuction(epsilon=0.5))
+        report = platform.run_round(pool, tasks, instance, seed=2)
+        labelled_workers = set(np.flatnonzero((report.labels != 0).any(axis=1)))
+        assert labelled_workers <= set(report.outcome.winners.tolist())
+
+    def test_winners_label_their_whole_bundle(self, round_setup):
+        pool, tasks, instance = round_setup
+        platform = Platform(DPHSRCAuction(epsilon=0.5))
+        report = platform.run_round(pool, tasks, instance, seed=3)
+        for w in report.outcome.winners:
+            bundle = sorted(instance.bids[int(w)].bundle)
+            labelled = np.flatnonzero(report.labels[int(w)] != 0).tolist()
+            assert labelled == bundle
+
+    def test_demands_met_on_every_task(self, round_setup):
+        """The winner set satisfies Lemma 1's constraint by construction."""
+        pool, tasks, instance = round_setup
+        platform = Platform(DPHSRCAuction(epsilon=0.5))
+        report = platform.run_round(pool, tasks, instance, seed=4)
+        assert bool(np.all(report.demand_met))
+
+    def test_achieved_error_bounds_below_targets(self, round_setup):
+        pool, tasks, instance = round_setup
+        platform = Platform(DPHSRCAuction(epsilon=0.5))
+        report = platform.run_round(pool, tasks, instance, seed=5)
+        assert np.all(report.error_bounds <= tasks.error_thresholds + 1e-9)
+
+    def test_reproducible_with_seed(self, round_setup):
+        pool, tasks, instance = round_setup
+        platform = Platform(DPHSRCAuction(epsilon=0.5))
+        a = platform.run_round(pool, tasks, instance, seed=6)
+        b = platform.run_round(pool, tasks, instance, seed=6)
+        assert a.outcome.price == b.outcome.price
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_aggregation_accuracy_is_reasonable(self, tiny_setting):
+        """Coverage demands of δ≤0.5 should aggregate most tasks right."""
+        rng = ensure_rng(7)
+        roomy = tiny_setting.with_population(n_workers=50)
+        accuracies = []
+        for _ in range(10):
+            pool = generate_worker_population(roomy, rng)
+            tasks = TaskSet.random(
+                pool.n_tasks, tiny_setting.error_threshold_range, seed=rng
+            )
+            instance = pool.to_instance(
+                error_thresholds=tasks.error_thresholds,
+                price_grid=tiny_setting.price_grid(),
+                c_min=tiny_setting.c_min,
+                c_max=tiny_setting.c_max,
+            )
+            platform = Platform(DPHSRCAuction(epsilon=0.5))
+            report = platform.run_round(pool, tasks, instance, seed=rng)
+            accuracies.append(report.accuracy)
+        # Mean per-task error is bounded by mean δ (≈0.4); demand a margin.
+        assert float(np.mean(accuracies)) >= 0.6

@@ -1,0 +1,73 @@
+"""Unit tests for repro.mcs.skill_estimation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mcs.sensing import collect_labels
+from repro.mcs.skill_estimation import (
+    estimate_skills_dawid_skene,
+    estimate_skills_from_gold,
+)
+
+
+class TestGoldEstimation:
+    def test_perfect_worker(self):
+        labels = np.array([[1, -1, 1, -1]])
+        gold = np.array([1, -1, 1, -1])
+        est = estimate_skills_from_gold(labels, gold, smoothing=0.0)
+        assert est[0, 0] == 1.0
+
+    def test_smoothing_pulls_to_half(self):
+        labels = np.array([[1]])
+        gold = np.array([1])
+        est = estimate_skills_from_gold(labels, gold, smoothing=1.0)
+        assert est[0, 0] == pytest.approx(2 / 3)
+
+    def test_unlabelled_worker_gets_prior(self):
+        labels = np.array([[0, 0]])
+        gold = np.array([1, -1])
+        est = estimate_skills_from_gold(labels, gold)
+        assert est[0, 0] == pytest.approx(0.5)
+
+    def test_broadcast_width(self):
+        labels = np.array([[1, 1]])
+        gold = np.array([1, 1])
+        est = estimate_skills_from_gold(labels, gold, n_tasks=7)
+        assert est.shape == (1, 7)
+        assert np.allclose(est[0], est[0, 0])
+
+    def test_recovers_planted_accuracy(self):
+        rng = np.random.default_rng(0)
+        theta = 0.8
+        gold = rng.choice((-1, 1), size=2000)
+        skills = np.full((1, 2000), theta)
+        labels = collect_labels(skills, gold, np.ones_like(skills, bool), seed=rng)
+        est = estimate_skills_from_gold(labels, gold)
+        assert est[0, 0] == pytest.approx(theta, abs=0.03)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="match"):
+            estimate_skills_from_gold(np.array([[1, 1]]), np.array([1]))
+
+    def test_bad_gold_values_rejected(self):
+        with pytest.raises(ValidationError):
+            estimate_skills_from_gold(np.array([[1]]), np.array([0]))
+
+
+class TestDawidSkeneEstimation:
+    def test_shape(self):
+        rng = np.random.default_rng(1)
+        truth = rng.choice((-1, 1), size=40)
+        skills = rng.uniform(0.6, 0.95, size=(8, 1)) * np.ones((1, 40))
+        labels = collect_labels(skills, truth, np.ones_like(skills, bool), seed=rng)
+        est = estimate_skills_dawid_skene(labels, n_tasks=10)
+        assert est.shape == (8, 10)
+
+    def test_values_in_unit_interval(self):
+        rng = np.random.default_rng(2)
+        truth = rng.choice((-1, 1), size=40)
+        skills = np.full((5, 40), 0.7)
+        labels = collect_labels(skills, truth, np.ones_like(skills, bool), seed=rng)
+        est = estimate_skills_dawid_skene(labels)
+        assert np.all((0 < est) & (est < 1))

@@ -1,0 +1,66 @@
+"""Unit tests for repro.mcs.tasks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mcs.tasks import TaskSet
+
+
+class TestConstruction:
+    def test_basic(self):
+        ts = TaskSet(
+            true_labels=np.array([1, -1]), error_thresholds=np.array([0.1, 0.2])
+        )
+        assert ts.n_tasks == 2
+
+    def test_invalid_labels_rejected(self):
+        with pytest.raises(ValidationError, match="\\+1 and -1"):
+            TaskSet(np.array([1, 0]), np.array([0.1, 0.1]))
+
+    def test_threshold_shape_mismatch(self):
+        with pytest.raises(ValidationError, match="per task"):
+            TaskSet(np.array([1, -1]), np.array([0.1]))
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0])
+    def test_thresholds_open_interval(self, bad):
+        with pytest.raises(ValidationError):
+            TaskSet(np.array([1]), np.array([bad]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            TaskSet(np.array([], dtype=int), np.array([]))
+
+    def test_immutable(self):
+        ts = TaskSet(np.array([1]), np.array([0.1]))
+        with pytest.raises(ValueError):
+            ts.true_labels[0] = -1
+
+
+class TestCoverageDemands:
+    def test_lemma1_values(self):
+        ts = TaskSet(np.array([1, -1]), np.array([0.1, 0.2]))
+        demands = ts.coverage_demands()
+        assert demands[0] == pytest.approx(2 * np.log(10))
+        assert demands[1] == pytest.approx(2 * np.log(5))
+
+
+class TestRandom:
+    def test_shapes_and_ranges(self):
+        ts = TaskSet.random(50, (0.1, 0.2), seed=0)
+        assert ts.n_tasks == 50
+        assert np.all(np.isin(ts.true_labels, (-1, 1)))
+        assert np.all((0.1 <= ts.error_thresholds) & (ts.error_thresholds <= 0.2))
+
+    def test_reproducible(self):
+        a = TaskSet.random(10, (0.1, 0.2), seed=1)
+        b = TaskSet.random(10, (0.1, 0.2), seed=1)
+        assert np.array_equal(a.true_labels, b.true_labels)
+
+    def test_both_labels_appear_eventually(self):
+        ts = TaskSet.random(200, (0.1, 0.2), seed=2)
+        assert (ts.true_labels == 1).any() and (ts.true_labels == -1).any()
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValidationError):
+            TaskSet.random(0, (0.1, 0.2))

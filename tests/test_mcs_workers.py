@@ -1,0 +1,135 @@
+"""Unit tests for repro.mcs.workers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mcs.workers import WorkerPool
+
+
+def make_pool():
+    return WorkerPool(
+        skills=np.array([[0.9, 0.8], [0.6, 0.7]]),
+        bundles=(frozenset({0}), frozenset({0, 1})),
+        costs=np.array([3.0, 5.0]),
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        pool = make_pool()
+        assert pool.n_workers == 2
+        assert pool.n_tasks == 2
+
+    def test_bundle_count_mismatch(self):
+        with pytest.raises(ValidationError, match="bundles"):
+            WorkerPool(
+                skills=np.ones((2, 2)) * 0.5,
+                bundles=(frozenset({0}),),
+                costs=np.array([1.0, 2.0]),
+            )
+
+    def test_cost_count_mismatch(self):
+        with pytest.raises(ValidationError, match="costs"):
+            WorkerPool(
+                skills=np.ones((2, 2)) * 0.5,
+                bundles=(frozenset({0}), frozenset({1})),
+                costs=np.array([1.0]),
+            )
+
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(ValidationError, match="empty bundle"):
+            WorkerPool(
+                skills=np.ones((1, 2)) * 0.5,
+                bundles=(frozenset(),),
+                costs=np.array([1.0]),
+            )
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValidationError, match="unknown task"):
+            WorkerPool(
+                skills=np.ones((1, 2)) * 0.5,
+                bundles=(frozenset({7}),),
+                costs=np.array([1.0]),
+            )
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            WorkerPool(
+                skills=np.ones((1, 1)) * 0.5,
+                bundles=(frozenset({0}),),
+                costs=np.array([-1.0]),
+            )
+
+    def test_skill_range_checked(self):
+        with pytest.raises(ValidationError):
+            WorkerPool(
+                skills=np.array([[1.2]]),
+                bundles=(frozenset({0}),),
+                costs=np.array([1.0]),
+            )
+
+
+class TestTruthfulBids:
+    def test_matches_private_truth(self):
+        pool = make_pool()
+        bids = pool.truthful_bids()
+        assert bids[0].bundle == frozenset({0})
+        assert bids[0].price == 3.0
+        assert bids[1].bundle == frozenset({0, 1})
+        assert bids[1].price == 5.0
+
+
+class TestBundleMask:
+    def test_mask(self):
+        assert make_pool().bundle_mask().tolist() == [
+            [True, False],
+            [True, True],
+        ]
+
+
+class TestToInstance:
+    def test_builds_lemma1_quantities(self):
+        pool = make_pool()
+        inst = pool.to_instance(
+            error_thresholds=np.array([0.1, 0.2]),
+            price_grid=np.array([3.0, 4.0, 5.0]),
+            c_min=1.0,
+            c_max=6.0,
+        )
+        assert inst.n_workers == 2
+        assert inst.quality[0, 0] == pytest.approx((2 * 0.9 - 1) ** 2)
+        assert inst.demands[0] == pytest.approx(2 * np.log(10))
+
+    def test_skills_estimate_override(self):
+        pool = make_pool()
+        estimate = np.full((2, 2), 0.75)
+        inst = pool.to_instance(
+            error_thresholds=np.array([0.1, 0.2]),
+            price_grid=np.array([5.0]),
+            c_min=1.0,
+            c_max=6.0,
+            skills_estimate=estimate,
+        )
+        assert inst.quality[0, 0] == pytest.approx(0.25)
+
+    def test_custom_bids_override(self):
+        from repro.auction.bids import Bid, BidProfile
+
+        pool = make_pool()
+        lying = BidProfile([Bid([1], 9.0), Bid([0], 1.0)])
+        inst = pool.to_instance(
+            error_thresholds=np.array([0.3, 0.3]),
+            price_grid=np.array([5.0, 9.0]),
+            c_min=1.0,
+            c_max=9.0,
+            bids=lying,
+        )
+        assert inst.bids[0].price == 9.0
+
+
+class TestUtility:
+    def test_winner_and_loser(self):
+        pool = make_pool()
+        assert pool.utility_of(0, payment=5.0, won=True) == 2.0
+        assert pool.utility_of(0, payment=5.0, won=False) == 0.0

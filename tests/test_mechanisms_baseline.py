@@ -1,0 +1,74 @@
+"""Unit tests for repro.mechanisms.baseline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mechanisms.baseline import BaselineAuction
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+from repro.workloads.generator import generate_instance
+
+
+class TestConstruction:
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(ValidationError):
+            BaselineAuction(epsilon=-1.0)
+
+    def test_name(self):
+        assert BaselineAuction(0.1).name == "baseline"
+
+
+class TestPricePMF:
+    def test_support_matches_dp_hsrc(self, tiny_setting):
+        """Both mechanisms share the feasible price set; only winners differ."""
+        instance, _ = generate_instance(tiny_setting, seed=0)
+        base = BaselineAuction(epsilon=0.5).price_pmf(instance)
+        dp = DPHSRCAuction(epsilon=0.5).price_pmf(instance)
+        assert np.allclose(base.prices, dp.prices)
+
+    def test_every_support_outcome_is_feasible(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=1)
+        pmf = BaselineAuction(epsilon=0.5).price_pmf(instance)
+        for k in range(pmf.support_size):
+            coverage = instance.effective_quality[pmf.winner_sets[k]].sum(axis=0)
+            assert np.all(coverage >= instance.demands - 1e-9)
+
+    def test_winners_always_affordable(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=2)
+        pmf = BaselineAuction(epsilon=0.5).price_pmf(instance)
+        for k in range(pmf.support_size):
+            asked = instance.prices[pmf.winner_sets[k]]
+            assert np.all(asked <= pmf.prices[k] + 1e-9)
+
+    def test_winners_follow_static_quality_order(self, toy_instance):
+        pmf = BaselineAuction(epsilon=0.5).price_pmf(toy_instance)
+        # At price 3: worker 2 has static gain 1.28 (two tasks), workers 0/1
+        # have 0.64.  Worker 2 alone covers both demands.
+        last = pmf.winner_sets[-1]
+        assert last.tolist() == [2]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dp_hsrc_never_pays_more_in_expectation(self, tiny_setting, seed):
+        """The paper's headline comparison on small random markets."""
+        instance, _ = generate_instance(tiny_setting, seed=seed)
+        dp = DPHSRCAuction(epsilon=0.5).expected_total_payment(instance)
+        base = BaselineAuction(epsilon=0.5).expected_total_payment(instance)
+        # Adaptive greedy dominates the static rule per price, so the
+        # payment comparison holds instance-wise up to exp-mech weighting;
+        # allow a small tolerance for weighting effects.
+        assert dp <= base * 1.05
+
+    def test_is_epsilon_dp_too(self, tiny_setting):
+        """§VII-A: the baseline inherits the DP guarantee."""
+        from repro.privacy.leakage import pmf_max_log_ratio
+        from repro.workloads.generator import matched_neighbor
+
+        epsilon = 0.5
+        instance, _ = generate_instance(tiny_setting, seed=3)
+        auction = BaselineAuction(epsilon=epsilon)
+        base = auction.price_pmf(instance)
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            worker = int(rng.integers(instance.n_workers))
+            neighbor = matched_neighbor(instance, tiny_setting, worker, seed=rng)
+            assert pmf_max_log_ratio(base, auction.price_pmf(neighbor)) <= epsilon + 1e-9

@@ -1,0 +1,146 @@
+"""Unit tests for repro.mechanisms.dp_hsrc (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.auction.bids import Bid
+from repro.exceptions import ValidationError
+from repro.mechanisms.dp_hsrc import (
+    DPHSRCAuction,
+    payment_score_sensitivity,
+    reweight_pmf,
+)
+from repro.workloads.generator import generate_instance
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("eps", [0.0, -0.5])
+    def test_bad_epsilon_rejected(self, eps):
+        with pytest.raises(ValidationError, match="epsilon"):
+            DPHSRCAuction(epsilon=eps)
+
+    def test_name(self):
+        assert DPHSRCAuction(0.1).name == "dp-hsrc"
+
+
+class TestPricePMF:
+    def test_toy_distribution_matches_equation_10(self, toy_instance):
+        """Hand-verify the exponential-mechanism weights on the toy market."""
+        pmf = DPHSRCAuction(epsilon=0.5).price_pmf(toy_instance)
+        assert pmf.prices.tolist() == [2.0, 3.0]
+        # Winner sets: at p=2, greedy over workers {0,1}; both needed.
+        assert pmf.winner_sets[0].tolist() == [0, 1]
+        # At p=3 worker 2 covers both tasks alone with the max gain.
+        assert pmf.winner_sets[1].tolist() == [2]
+        # Equation 10: Pr[x] ∝ exp(-eps·x|S(x)| / (2·N·c_max)).
+        n, cmax, eps = 3, 3.0, 0.5
+        w = np.exp(-eps * np.array([2.0 * 2, 3.0 * 1]) / (2 * n * cmax))
+        expected = w / w.sum()
+        assert np.allclose(pmf.probabilities, expected)
+
+    def test_every_support_outcome_is_feasible(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=0)
+        pmf = DPHSRCAuction(epsilon=0.5).price_pmf(instance)
+        for k in range(pmf.support_size):
+            winners = pmf.winner_sets[k]
+            coverage = instance.effective_quality[winners].sum(axis=0)
+            assert np.all(coverage >= instance.demands - 1e-9)
+
+    def test_winners_always_affordable(self, tiny_setting):
+        """Winners at price x all ask at most x (the IR invariant)."""
+        instance, _ = generate_instance(tiny_setting, seed=1)
+        pmf = DPHSRCAuction(epsilon=0.5).price_pmf(instance)
+        for k in range(pmf.support_size):
+            asked = instance.prices[pmf.winner_sets[k]]
+            assert np.all(asked <= pmf.prices[k] + 1e-9)
+
+    def test_deterministic_pmf(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=2)
+        a = DPHSRCAuction(epsilon=0.5).price_pmf(instance)
+        b = DPHSRCAuction(epsilon=0.5).price_pmf(instance)
+        assert np.allclose(a.probabilities, b.probabilities)
+        assert all(
+            np.array_equal(x, y) for x, y in zip(a.winner_sets, b.winner_sets)
+        )
+
+    def test_smaller_epsilon_flattens_distribution(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=3)
+        tight = DPHSRCAuction(epsilon=10.0).price_pmf(instance)
+        loose = DPHSRCAuction(epsilon=0.01).price_pmf(instance)
+        # Entropy grows as epsilon shrinks.
+        def entropy(p):
+            p = p[p > 0]
+            return -float(np.sum(p * np.log(p)))
+
+        assert entropy(loose.probabilities) > entropy(tight.probabilities)
+
+    def test_expected_payment_improves_with_epsilon(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=4)
+        payments = [
+            DPHSRCAuction(epsilon=eps).price_pmf(instance).expected_total_payment()
+            for eps in (0.01, 1.0, 100.0)
+        ]
+        assert payments[0] >= payments[1] >= payments[2]
+
+
+class TestRun:
+    def test_run_is_reproducible_with_seed(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=5)
+        auction = DPHSRCAuction(epsilon=0.5)
+        a = auction.run(instance, seed=7)
+        b = auction.run(instance, seed=7)
+        assert a.price == b.price
+        assert a.winners.tolist() == b.winners.tolist()
+
+    def test_outcome_payment_consistency(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=6)
+        outcome = DPHSRCAuction(epsilon=0.5).run(instance, seed=0)
+        assert outcome.total_payment == pytest.approx(
+            outcome.price * outcome.n_winners
+        )
+
+
+class TestSensitivity:
+    def test_formula(self, toy_instance):
+        assert payment_score_sensitivity(toy_instance) == 3 * 3.0
+
+
+class TestReweightPMF:
+    def test_same_support_different_probs(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=0)
+        base = DPHSRCAuction(epsilon=1.0).price_pmf(instance)
+        assert base.support_size > 1  # reweighting needs a non-degenerate PMF
+        re = reweight_pmf(base, instance, epsilon=5.0)
+        assert np.allclose(re.prices, base.prices)
+        assert not np.allclose(re.probabilities, base.probabilities)
+
+    def test_matches_direct_computation(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=8)
+        base = DPHSRCAuction(epsilon=1.0).price_pmf(instance)
+        re = reweight_pmf(base, instance, epsilon=3.0)
+        direct = DPHSRCAuction(epsilon=3.0).price_pmf(instance)
+        assert np.allclose(re.probabilities, direct.probabilities)
+
+    def test_rejects_bad_epsilon(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=9)
+        base = DPHSRCAuction(epsilon=1.0).price_pmf(instance)
+        with pytest.raises(ValidationError):
+            reweight_pmf(base, instance, epsilon=0.0)
+
+
+class TestDifferentialPrivacyTheorem2:
+    def test_neighbor_log_ratio_within_epsilon(self, tiny_setting):
+        """The headline guarantee, checked exactly on real neighbors."""
+        from repro.privacy.leakage import pmf_max_log_ratio
+        from repro.workloads.generator import matched_neighbor
+
+        epsilon = 0.5
+        instance, _ = generate_instance(tiny_setting, seed=10)
+        auction = DPHSRCAuction(epsilon=epsilon)
+        base = auction.price_pmf(instance)
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            worker = int(rng.integers(instance.n_workers))
+            neighbor = matched_neighbor(instance, tiny_setting, worker, seed=rng)
+            ratio = pmf_max_log_ratio(base, auction.price_pmf(neighbor))
+            assert ratio <= epsilon + 1e-9

@@ -1,0 +1,58 @@
+"""Unit tests for repro.mechanisms.dp_variants (permute-and-flip DP-hSRC)."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+from repro.mechanisms.dp_variants import PermuteFlipHSRCAuction
+from repro.workloads.generator import generate_instance
+
+
+class TestPermuteFlipHSRC:
+    def test_same_winner_schedule_as_exponential(self, toy_instance):
+        pf = PermuteFlipHSRCAuction(epsilon=0.5).price_pmf(toy_instance)
+        em = DPHSRCAuction(epsilon=0.5).price_pmf(toy_instance)
+        assert np.allclose(pf.prices, em.prices)
+        assert all(
+            np.array_equal(a, b) for a, b in zip(pf.winner_sets, em.winner_sets)
+        )
+
+    def test_toy_pmf_is_exact_permute_flip(self, toy_instance):
+        from repro.mechanisms.dp_hsrc import payment_score_sensitivity
+        from repro.privacy.selection import permute_and_flip_pmf_exact
+
+        pf = PermuteFlipHSRCAuction(epsilon=0.5).price_pmf(toy_instance)
+        expected = permute_and_flip_pmf_exact(
+            -pf.total_payments, 0.5, payment_score_sensitivity(toy_instance)
+        )
+        assert np.allclose(pf.probabilities, expected)
+
+    def test_expected_payment_never_worse_than_exponential(self, toy_instance):
+        """The dominance theorem, in auction terms, on the exact toy PMFs."""
+        pf = PermuteFlipHSRCAuction(epsilon=0.5).price_pmf(toy_instance)
+        em = DPHSRCAuction(epsilon=0.5).price_pmf(toy_instance)
+        assert pf.expected_total_payment() <= em.expected_total_payment() + 1e-9
+
+    def test_run_outcome_is_feasible(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=0)
+        outcome = PermuteFlipHSRCAuction(epsilon=0.5).run(instance, seed=1)
+        coverage = instance.effective_quality[outcome.winners].sum(axis=0)
+        assert np.all(coverage >= instance.demands - 1e-9)
+        asked = instance.prices[outcome.winners]
+        assert np.all(asked <= outcome.price + 1e-9)
+
+    def test_run_reproducible(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=1)
+        auction = PermuteFlipHSRCAuction(epsilon=0.5)
+        assert auction.run(instance, seed=2).price == auction.run(instance, seed=2).price
+
+    def test_monte_carlo_pmf_for_large_support(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=0)
+        pmf = PermuteFlipHSRCAuction(epsilon=0.5, pmf_samples=2_000).price_pmf(instance)
+        assert pmf.probabilities.sum() == pytest.approx(1.0)
+
+    def test_bad_epsilon_rejected(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            PermuteFlipHSRCAuction(epsilon=0.0)

@@ -1,0 +1,65 @@
+"""Tests for the optimal benchmark's resource-limit behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.optimal import optimal_total_payment
+from repro.workloads.generator import generate_instance
+
+
+class TestMaxExactSolves:
+    def test_cap_flips_certified_flag(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=0)
+        unlimited = optimal_total_payment(instance)
+        if unlimited.n_exact_solves <= 1:
+            pytest.skip("instance pruned to a single solve; cap cannot bind")
+        capped = optimal_total_payment(instance, max_exact_solves=1)
+        assert capped.n_exact_solves == 1
+        assert not capped.certified
+
+    def test_capped_result_is_upper_bound(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=1)
+        exact = optimal_total_payment(instance)
+        capped = optimal_total_payment(instance, max_exact_solves=1)
+        assert capped.total_payment >= exact.total_payment - 1e-9
+
+    def test_generous_cap_changes_nothing(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=2)
+        exact = optimal_total_payment(instance)
+        capped = optimal_total_payment(instance, max_exact_solves=10_000)
+        assert capped.total_payment == pytest.approx(exact.total_payment)
+        assert capped.certified == exact.certified
+
+    def test_capped_winner_set_still_feasible(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=3)
+        capped = optimal_total_payment(instance, max_exact_solves=1)
+        coverage = instance.effective_quality[capped.winners].sum(axis=0)
+        assert np.all(coverage >= instance.demands - 1e-9)
+
+
+class TestPlatformRecordedSkills:
+    def test_aggregation_uses_supplied_record(self, tiny_setting):
+        """Aggregating with an inverted record flips the weighted votes."""
+        from repro.mcs.platform import Platform
+        from repro.mcs.tasks import TaskSet
+        from repro.mechanisms.dp_hsrc import DPHSRCAuction
+        from repro.workloads.generator import generate_worker_population
+
+        roomy = tiny_setting.with_population(n_workers=50)
+        pool = generate_worker_population(roomy, seed=4)
+        tasks = TaskSet.random(pool.n_tasks, (0.3, 0.5), seed=5)
+        instance = pool.to_instance(
+            error_thresholds=tasks.error_thresholds,
+            price_grid=tiny_setting.price_grid(),
+            c_min=tiny_setting.c_min,
+            c_max=tiny_setting.c_max,
+        )
+        platform = Platform(DPHSRCAuction(epsilon=0.5))
+        honest = platform.run_round(pool, tasks, instance, seed=6)
+        inverted = platform.run_round(
+            pool, tasks, instance, seed=6, recorded_skills=1.0 - pool.skills
+        )
+        # Same labels (same seed), opposite weights → opposite aggregates.
+        assert np.array_equal(honest.labels, inverted.labels)
+        assert np.array_equal(honest.aggregated, -inverted.aggregated)
+        assert honest.accuracy == pytest.approx(1.0 - inverted.accuracy)

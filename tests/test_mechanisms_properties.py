@@ -1,0 +1,79 @@
+"""Unit tests for repro.mechanisms.properties (Theorems 3 and 6 arithmetic)."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+from repro.mechanisms.optimal import optimal_total_payment
+from repro.mechanisms.properties import (
+    payment_sensitivity,
+    theorem6_payment_bound,
+    truthfulness_gap,
+)
+from repro.workloads.generator import generate_instance
+
+
+class TestTruthfulnessGap:
+    def test_formula(self):
+        assert truthfulness_gap(0.1, 10.0, 60.0) == pytest.approx(5.0)
+
+    def test_zero_spread_gives_zero_gap(self):
+        assert truthfulness_gap(0.1, 5.0, 5.0) == 0.0
+
+    def test_rejects_inverted_costs(self):
+        with pytest.raises(ValueError, match="c_min"):
+            truthfulness_gap(0.1, 10.0, 5.0)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(Exception):
+            truthfulness_gap(0.0, 1.0, 2.0)
+
+
+class TestPaymentSensitivity:
+    def test_formula(self):
+        assert payment_sensitivity(100, 60.0) == 6000.0
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            payment_sensitivity(0, 60.0)
+
+
+class TestTheorem6Bound:
+    def test_bound_holds_on_random_instances(self, tiny_setting):
+        """E[R] ≤ 2βH_m·R_OPT + (6N·c_max/ε)·ln(...) must hold empirically."""
+        for seed in range(3):
+            instance, _ = generate_instance(tiny_setting, seed=seed)
+            epsilon = tiny_setting.epsilon
+            expected = DPHSRCAuction(epsilon).price_pmf(instance).expected_total_payment()
+            r_opt = optimal_total_payment(instance).total_payment
+            bound = theorem6_payment_bound(
+                instance, epsilon, r_opt, unit=tiny_setting.grid_step
+            )
+            assert expected <= bound + 1e-6
+
+    def test_bound_decreases_with_epsilon(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=0)
+        r_opt = optimal_total_payment(instance).total_payment
+        loose = theorem6_payment_bound(instance, 0.01, r_opt, unit=0.5)
+        tight = theorem6_payment_bound(instance, 10.0, r_opt, unit=0.5)
+        assert tight < loose
+
+    def test_requires_positive_r_opt(self, tiny_setting):
+        instance, _ = generate_instance(tiny_setting, seed=0)
+        with pytest.raises(Exception):
+            theorem6_payment_bound(instance, 0.1, 0.0, unit=0.5)
+
+    def test_rejects_zero_c_min(self, tiny_setting):
+        from repro.auction.instance import AuctionInstance
+
+        instance, _ = generate_instance(tiny_setting, seed=0)
+        free_market = AuctionInstance(
+            bids=instance.bids,
+            quality=instance.quality,
+            demands=instance.demands,
+            price_grid=instance.price_grid,
+            c_min=0.0,
+            c_max=instance.c_max,
+        )
+        with pytest.raises(ValueError, match="c_min"):
+            theorem6_payment_bound(free_market, 0.1, 100.0, unit=0.5)

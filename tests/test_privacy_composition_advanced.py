@@ -1,0 +1,54 @@
+"""Unit tests for advanced composition (repro.privacy.composition)."""
+
+import math
+
+import pytest
+
+from repro.privacy.composition import advanced_composition_epsilon
+
+
+class TestAdvancedComposition:
+    def test_formula(self):
+        e0, k, d = 0.1, 100, 1e-6
+        expected = e0 * math.sqrt(2 * k * math.log(1 / d)) + k * e0 * (
+            math.exp(e0) - 1
+        )
+        assert advanced_composition_epsilon(e0, k, d) == pytest.approx(expected)
+
+    def test_beats_basic_composition_for_long_campaigns(self):
+        """sqrt(k) scaling: advanced < basic once k is large enough."""
+        e0, d = 0.05, 1e-9
+        k = 2000
+        basic = e0 * k
+        assert advanced_composition_epsilon(e0, k, d) < basic
+
+    def test_single_round_close_to_epsilon(self):
+        # One round: ε' = ε0·sqrt(2 ln(1/δ)) + ε0(e^{ε0}−1) — larger than
+        # ε0 (the sqrt term), so advanced composition only helps for many
+        # rounds.
+        out = advanced_composition_epsilon(0.1, 1, 1e-6)
+        assert out > 0.1
+
+    def test_monotone_in_rounds(self):
+        values = [
+            advanced_composition_epsilon(0.1, k, 1e-6) for k in (1, 10, 100, 1000)
+        ]
+        assert values == sorted(values)
+
+    def test_monotone_in_delta_slack(self):
+        loose = advanced_composition_epsilon(0.1, 100, 1e-2)
+        tight = advanced_composition_epsilon(0.1, 100, 1e-12)
+        assert tight > loose
+
+    @pytest.mark.parametrize("bad_delta", [0.0, 1.0, -0.1, 2.0])
+    def test_rejects_bad_delta(self, bad_delta):
+        with pytest.raises(ValueError):
+            advanced_composition_epsilon(0.1, 10, bad_delta)
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(ValueError):
+            advanced_composition_epsilon(0.1, 0, 1e-6)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(Exception):
+            advanced_composition_epsilon(0.0, 10, 1e-6)

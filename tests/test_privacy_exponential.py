@@ -1,0 +1,105 @@
+"""Unit tests for repro.privacy.exponential."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.privacy.exponential import ExponentialMechanism
+
+
+class TestDistribution:
+    def test_probabilities_normalize(self):
+        mech = ExponentialMechanism(
+            scores=np.array([-1.0, -2.0, -3.0]), epsilon=1.0, sensitivity=1.0
+        )
+        assert mech.probabilities.sum() == pytest.approx(1.0)
+
+    def test_higher_score_more_likely(self):
+        mech = ExponentialMechanism(
+            scores=np.array([0.0, 1.0]), epsilon=1.0, sensitivity=1.0
+        )
+        assert mech.probabilities[1] > mech.probabilities[0]
+
+    def test_exact_two_point_ratio(self):
+        # P(1)/P(0) = exp(eps * (s1 - s0) / (2 * sens))
+        mech = ExponentialMechanism(
+            scores=np.array([0.0, 2.0]), epsilon=1.0, sensitivity=1.0
+        )
+        ratio = mech.probabilities[1] / mech.probabilities[0]
+        assert ratio == pytest.approx(np.exp(1.0))
+
+    def test_uniform_when_scores_equal(self):
+        mech = ExponentialMechanism(
+            scores=np.zeros(4), epsilon=5.0, sensitivity=1.0
+        )
+        assert np.allclose(mech.probabilities, 0.25)
+
+    def test_tiny_epsilon_is_nearly_uniform(self):
+        mech = ExponentialMechanism(
+            scores=np.array([0.0, 100.0]), epsilon=1e-9, sensitivity=1.0
+        )
+        assert np.allclose(mech.probabilities, 0.5, atol=1e-6)
+
+    def test_huge_epsilon_concentrates(self):
+        mech = ExponentialMechanism(
+            scores=np.array([0.0, 1.0]), epsilon=1e4, sensitivity=1.0
+        )
+        assert mech.probabilities[1] == pytest.approx(1.0)
+
+    def test_extreme_scores_do_not_overflow(self):
+        # Equivalent to Figure 5's eps=1000 on large payments.
+        mech = ExponentialMechanism(
+            scores=np.array([-1e6, -2e6, -3e6]), epsilon=1000.0, sensitivity=6e4
+        )
+        probs = mech.probabilities
+        assert np.all(np.isfinite(probs))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_translation_invariance(self):
+        a = ExponentialMechanism(np.array([0.0, 1.0, 3.0]), 1.0, 1.0)
+        b = ExponentialMechanism(np.array([10.0, 11.0, 13.0]), 1.0, 1.0)
+        assert np.allclose(a.probabilities, b.probabilities)
+
+
+class TestDPGuarantee:
+    def test_log_ratio_bounded_by_epsilon_on_neighbors(self, rng):
+        """Shifting every score by ≤ sensitivity changes log-probs ≤ ε."""
+        epsilon, sensitivity = 0.7, 2.0
+        scores = rng.uniform(-10, 0, size=20)
+        shift = rng.uniform(-sensitivity, sensitivity, size=20)
+        a = ExponentialMechanism(scores, epsilon, sensitivity)
+        b = ExponentialMechanism(scores + shift, epsilon, sensitivity)
+        diff = np.abs(a.log_probabilities - b.log_probabilities)
+        assert np.max(diff) <= epsilon + 1e-9
+
+    def test_privacy_bound_reported(self):
+        mech = ExponentialMechanism(np.zeros(2), epsilon=0.3, sensitivity=1.0)
+        assert mech.privacy_bound_log_ratio() == 0.3
+
+
+class TestSampling:
+    def test_sample_in_range(self):
+        mech = ExponentialMechanism(np.array([0.0, 1.0]), 1.0, 1.0)
+        assert mech.sample(seed=0) in (0, 1)
+
+    def test_sample_many_matches_distribution(self):
+        mech = ExponentialMechanism(np.array([0.0, 2.0]), 1.0, 1.0)
+        draws = mech.sample_many(50_000, seed=1)
+        expected = mech.probabilities[1]
+        assert np.mean(draws == 1) == pytest.approx(expected, abs=0.01)
+
+
+class TestValidation:
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            ExponentialMechanism(np.array([]), 1.0, 1.0)
+
+    @pytest.mark.parametrize("eps", [0.0, -1.0])
+    def test_bad_epsilon_rejected(self, eps):
+        with pytest.raises(ValidationError, match="epsilon"):
+            ExponentialMechanism(np.zeros(2), eps, 1.0)
+
+    @pytest.mark.parametrize("sens", [0.0, -1.0])
+    def test_bad_sensitivity_rejected(self, sens):
+        with pytest.raises(ValidationError, match="sensitivity"):
+            ExponentialMechanism(np.zeros(2), 1.0, sens)

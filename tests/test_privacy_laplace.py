@@ -1,0 +1,88 @@
+"""Unit tests for repro.privacy.laplace and repro.privacy.composition."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.composition import PrivacyAccountant
+from repro.privacy.laplace import laplace_mechanism, laplace_scale
+
+
+class TestLaplaceScale:
+    def test_formula(self):
+        assert laplace_scale(2.0, 0.5) == 4.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(Exception):
+            laplace_scale(0.0, 1.0)
+        with pytest.raises(Exception):
+            laplace_scale(1.0, -1.0)
+
+
+class TestLaplaceMechanism:
+    def test_scalar_in_scalar_out(self):
+        out = laplace_mechanism(10.0, sensitivity=1.0, epsilon=1.0, seed=0)
+        assert isinstance(out, float)
+
+    def test_array_shape_preserved(self):
+        out = laplace_mechanism(np.zeros(5), 1.0, 1.0, seed=0)
+        assert out.shape == (5,)
+
+    def test_unbiased(self):
+        rng = np.random.default_rng(0)
+        noisy = laplace_mechanism(np.full(200_000, 7.0), 1.0, 1.0, seed=rng)
+        assert np.mean(noisy) == pytest.approx(7.0, abs=0.05)
+
+    def test_noise_scales_with_budget(self):
+        tight = laplace_mechanism(np.zeros(100_000), 1.0, 10.0, seed=1)
+        loose = laplace_mechanism(np.zeros(100_000), 1.0, 0.1, seed=1)
+        assert np.std(loose) > np.std(tight)
+
+    def test_deterministic_with_seed(self):
+        a = laplace_mechanism(0.0, 1.0, 1.0, seed=3)
+        b = laplace_mechanism(0.0, 1.0, 1.0, seed=3)
+        assert a == b
+
+
+class TestPrivacyAccountant:
+    def test_sequential_adds(self):
+        acc = PrivacyAccountant()
+        acc.spend(0.1)
+        acc.spend(0.2)
+        assert acc.spent == pytest.approx(0.3)
+
+    def test_parallel_takes_max(self):
+        acc = PrivacyAccountant()
+        acc.spend(0.1, parallel=True)
+        acc.spend(0.3, parallel=True)
+        acc.spend(0.2, parallel=True)
+        assert acc.spent == pytest.approx(0.3)
+
+    def test_mixed_composition(self):
+        acc = PrivacyAccountant()
+        acc.spend(0.1)
+        acc.spend(0.5, parallel=True)
+        assert acc.spent == pytest.approx(0.6)
+
+    def test_budget_enforced(self):
+        acc = PrivacyAccountant(budget=0.25)
+        acc.spend(0.2)
+        with pytest.raises(ValueError, match="exceed"):
+            acc.spend(0.1)
+        # Failed spend must not be recorded.
+        assert acc.spent == pytest.approx(0.2)
+
+    def test_remaining(self):
+        acc = PrivacyAccountant(budget=1.0)
+        acc.spend(0.4)
+        assert acc.remaining == pytest.approx(0.6)
+
+    def test_remaining_none_without_budget(self):
+        assert PrivacyAccountant().remaining is None
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(Exception):
+            PrivacyAccountant().spend(0.0)
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(Exception):
+            PrivacyAccountant(budget=-1.0)

@@ -1,0 +1,117 @@
+"""Unit tests for repro.privacy.leakage."""
+
+import numpy as np
+import pytest
+
+from repro.auction.mechanism import PricePMF
+from repro.exceptions import ValidationError
+from repro.privacy.leakage import (
+    kl_divergence,
+    max_log_ratio,
+    pmf_kl_divergence,
+    pmf_max_log_ratio,
+    pmf_total_variation,
+    total_variation,
+)
+
+
+class TestKLDivergence:
+    def test_zero_for_identical(self):
+        p = np.array([0.3, 0.7])
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        p, q = np.array([0.5, 0.5]), np.array([0.9, 0.1])
+        expected = 0.5 * np.log(0.5 / 0.9) + 0.5 * np.log(0.5 / 0.1)
+        assert kl_divergence(p, q) == pytest.approx(expected)
+
+    def test_asymmetric(self):
+        p, q = np.array([0.5, 0.5]), np.array([0.9, 0.1])
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_infinite_on_support_mismatch(self):
+        p, q = np.array([0.5, 0.5]), np.array([1.0, 0.0])
+        assert kl_divergence(p, q) == float("inf")
+
+    def test_zero_p_points_ignored(self):
+        p, q = np.array([0.0, 1.0]), np.array([0.5, 0.5])
+        assert kl_divergence(p, q) == pytest.approx(np.log(2))
+
+    def test_nonnegative(self, rng):
+        for _ in range(10):
+            p = rng.dirichlet(np.ones(5))
+            q = rng.dirichlet(np.ones(5))
+            assert kl_divergence(p, q) >= -1e-12
+
+    def test_requires_normalized(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            kl_divergence(np.array([0.5, 0.4]), np.array([0.5, 0.5]))
+
+    def test_requires_same_support(self):
+        with pytest.raises(ValidationError, match="support"):
+            kl_divergence(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestMaxLogRatio:
+    def test_zero_for_identical(self):
+        p = np.array([0.2, 0.8])
+        assert max_log_ratio(p, p) == pytest.approx(0.0)
+
+    def test_symmetric(self):
+        p, q = np.array([0.2, 0.8]), np.array([0.5, 0.5])
+        assert max_log_ratio(p, q) == pytest.approx(max_log_ratio(q, p))
+
+    def test_known_value(self):
+        p, q = np.array([0.2, 0.8]), np.array([0.4, 0.6])
+        assert max_log_ratio(p, q) == pytest.approx(np.log(2))
+
+    def test_infinite_on_one_sided_zero(self):
+        p, q = np.array([0.0, 1.0]), np.array([0.5, 0.5])
+        assert max_log_ratio(p, q) == float("inf")
+
+    def test_shared_zero_is_fine(self):
+        p = np.array([0.0, 0.5, 0.5])
+        q = np.array([0.0, 0.6, 0.4])
+        assert np.isfinite(max_log_ratio(p, q))
+
+
+class TestTotalVariation:
+    def test_range(self):
+        p, q = np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        assert total_variation(p, q) == pytest.approx(1.0)
+        assert total_variation(p, p) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        p, q = np.array([0.5, 0.5]), np.array([0.75, 0.25])
+        assert total_variation(p, q) == pytest.approx(0.25)
+
+
+def _pmf(prices, probs):
+    sets = tuple(np.array([0]) for _ in prices)
+    return PricePMF(
+        prices=np.array(prices, dtype=float),
+        probabilities=np.array(probs, dtype=float),
+        winner_sets=sets,
+        n_workers=2,
+    )
+
+
+class TestPMFWrappers:
+    def test_aligned_supports(self):
+        a = _pmf([1.0, 2.0], [0.4, 0.6])
+        b = _pmf([1.0, 2.0], [0.5, 0.5])
+        assert pmf_kl_divergence(a, b) > 0
+        assert pmf_max_log_ratio(a, b) > 0
+        assert pmf_total_variation(a, b) == pytest.approx(0.1)
+
+    def test_support_mismatch_raises(self):
+        a = _pmf([1.0, 2.0], [0.4, 0.6])
+        b = _pmf([1.0, 3.0], [0.4, 0.6])
+        with pytest.raises(ValidationError, match="supports"):
+            pmf_kl_divergence(a, b)
+
+    def test_size_mismatch_raises(self):
+        a = _pmf([1.0, 2.0], [0.4, 0.6])
+        b = _pmf([1.0], [1.0])
+        with pytest.raises(ValidationError, match="supports"):
+            pmf_max_log_ratio(a, b)

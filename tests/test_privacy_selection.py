@@ -1,0 +1,141 @@
+"""Unit tests for repro.privacy.selection (permute-and-flip)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.privacy.exponential import ExponentialMechanism
+from repro.privacy.selection import (
+    permute_and_flip_pmf_exact,
+    permute_and_flip_pmf_monte_carlo,
+    permute_and_flip_sample,
+)
+
+
+class TestExactPMF:
+    def test_single_candidate(self):
+        pmf = permute_and_flip_pmf_exact(np.array([3.0]), 1.0, 1.0)
+        assert pmf.tolist() == [1.0]
+
+    def test_normalizes(self):
+        pmf = permute_and_flip_pmf_exact(np.array([0.0, 1.0, 2.0]), 1.0, 1.0)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_equal_scores_uniform(self):
+        pmf = permute_and_flip_pmf_exact(np.zeros(4), 2.0, 1.0)
+        assert np.allclose(pmf, 0.25)
+
+    def test_best_candidate_most_likely(self):
+        pmf = permute_and_flip_pmf_exact(np.array([0.0, 5.0]), 1.0, 1.0)
+        assert pmf[1] > pmf[0]
+
+    def test_two_candidate_closed_form(self):
+        # With scores (s_max, s), q = exp(eps*(s - s_max)/2): order (max, other):
+        # max accepted immediately (prob 1). Order (other, max): other wins
+        # w.p. q else max.  P(other) = q/2.
+        eps, sens = 1.0, 1.0
+        scores = np.array([0.0, 2.0])
+        q = np.exp(eps * (0.0 - 2.0) / (2 * sens))
+        pmf = permute_and_flip_pmf_exact(scores, eps, sens)
+        assert pmf[0] == pytest.approx(q / 2)
+        assert pmf[1] == pytest.approx(1 - q / 2)
+
+    def test_large_support_rejected(self):
+        with pytest.raises(ValidationError, match="factorial"):
+            permute_and_flip_pmf_exact(np.zeros(10), 1.0, 1.0)
+
+
+class TestSampler:
+    def test_matches_exact_pmf(self):
+        scores = np.array([0.0, 1.0, 3.0])
+        exact = permute_and_flip_pmf_exact(scores, 1.0, 1.0)
+        rng = np.random.default_rng(0)
+        draws = np.array(
+            [permute_and_flip_sample(scores, 1.0, 1.0, rng) for _ in range(30_000)]
+        )
+        empirical = np.bincount(draws, minlength=3) / draws.size
+        assert np.allclose(empirical, exact, atol=0.01)
+
+    def test_always_returns_valid_index(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            idx = permute_and_flip_sample(np.array([-5.0, 0.0]), 0.1, 2.0, rng)
+            assert idx in (0, 1)
+
+    def test_reproducible(self):
+        a = permute_and_flip_sample(np.array([0.0, 1.0, 2.0]), 1.0, 1.0, seed=7)
+        b = permute_and_flip_sample(np.array([0.0, 1.0, 2.0]), 1.0, 1.0, seed=7)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            permute_and_flip_sample(np.array([]), 1.0, 1.0)
+        with pytest.raises(ValidationError):
+            permute_and_flip_sample(np.zeros(2), 0.0, 1.0)
+
+
+class TestMonteCarloPMF:
+    def test_close_to_exact(self):
+        scores = np.array([0.0, 2.0, 4.0])
+        exact = permute_and_flip_pmf_exact(scores, 1.0, 1.0)
+        mc = permute_and_flip_pmf_monte_carlo(scores, 1.0, 1.0, n_samples=30_000, seed=2)
+        assert np.allclose(mc, exact, atol=0.015)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValidationError):
+            permute_and_flip_pmf_monte_carlo(np.zeros(2), 1.0, 1.0, n_samples=0)
+
+
+class TestDominanceOverExponential:
+    def test_expected_utility_never_worse(self):
+        """McKenna–Sheldon Thm 1: P&F expected score >= exp-mech's."""
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            scores = rng.uniform(-10, 0, size=6)
+            eps = float(rng.uniform(0.1, 5.0))
+            pf = permute_and_flip_pmf_exact(scores, eps, 1.0)
+            em = ExponentialMechanism(scores, eps, 1.0).probabilities
+            assert float(pf @ scores) >= float(em @ scores) - 1e-9
+
+    def test_dp_log_ratio_bounded_on_shifts(self):
+        """The ε-DP guarantee of P&F, checked via the exact PMF."""
+        rng = np.random.default_rng(4)
+        eps, sens = 0.8, 1.0
+        for _ in range(10):
+            scores = rng.uniform(-5, 0, size=5)
+            shift = rng.uniform(-sens, sens, size=5)
+            p = permute_and_flip_pmf_exact(scores, eps, sens)
+            q = permute_and_flip_pmf_exact(scores + shift, eps, sens)
+            ratio = np.max(np.abs(np.log(p) - np.log(q)))
+            assert ratio <= eps + 1e-7
+
+
+class TestGumbelMax:
+    def test_matches_exponential_mechanism_distribution(self):
+        """The Gumbel-max trick samples the exponential mechanism exactly."""
+        from repro.privacy.selection import gumbel_max_sample
+
+        scores = np.array([-3.0, -1.0, 0.0])
+        eps, sens = 2.0, 1.0
+        expected = ExponentialMechanism(scores, eps, sens).probabilities
+        rng = np.random.default_rng(0)
+        draws = np.array(
+            [gumbel_max_sample(scores, eps, sens, rng) for _ in range(40_000)]
+        )
+        empirical = np.bincount(draws, minlength=3) / draws.size
+        assert np.allclose(empirical, expected, atol=0.01)
+
+    def test_reproducible(self):
+        from repro.privacy.selection import gumbel_max_sample
+
+        a = gumbel_max_sample(np.array([0.0, 1.0]), 1.0, 1.0, seed=5)
+        b = gumbel_max_sample(np.array([0.0, 1.0]), 1.0, 1.0, seed=5)
+        assert a == b
+
+    def test_validation(self):
+        from repro.privacy.selection import gumbel_max_sample
+
+        with pytest.raises(ValidationError):
+            gumbel_max_sample(np.array([]), 1.0, 1.0)
+        with pytest.raises(ValidationError):
+            gumbel_max_sample(np.zeros(2), -1.0, 1.0)

@@ -1,0 +1,108 @@
+"""Property-based tests for the aggregation substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.aggregation.error_bounds import (
+    achieved_error_bound,
+    coverage_demands,
+    quality_matrix,
+)
+from repro.aggregation.majority import majority_vote
+from repro.aggregation.weighted import weighted_aggregate, weighted_scores
+
+
+def skill_matrices(max_workers=8, max_tasks=6):
+    return arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, max_workers), st.integers(1, max_tasks)),
+        elements=st.floats(0.0, 1.0),
+    )
+
+
+def label_matrices_like(skills_strategy):
+    @st.composite
+    def build(draw):
+        skills = draw(skills_strategy)
+        labels = draw(
+            arrays(
+                dtype=np.int64,
+                shape=skills.shape,
+                elements=st.sampled_from([-1, 0, 1]),
+            )
+        )
+        return labels, skills
+
+    return build()
+
+
+class TestQualityProperties:
+    @given(skills=skill_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_quality_in_unit_interval(self, skills):
+        q = quality_matrix(skills)
+        assert np.all((0 <= q) & (q <= 1))
+
+    @given(skills=skill_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_quality_symmetric_around_half(self, skills):
+        q1 = quality_matrix(skills)
+        q2 = quality_matrix(1.0 - skills)
+        assert np.allclose(q1, q2)
+
+    @given(delta=st.floats(0.001, 0.999))
+    @settings(max_examples=80, deadline=None)
+    def test_demand_roundtrip(self, delta):
+        demand = coverage_demands([delta])[0]
+        assert achieved_error_bound(demand) == pytest.approx(delta, rel=1e-9)
+
+
+class TestAggregationProperties:
+    @given(pair=label_matrices_like(skill_matrices()))
+    @settings(max_examples=80, deadline=None)
+    def test_output_always_pm_one(self, pair):
+        labels, skills = pair
+        out = weighted_aggregate(labels, skills)
+        assert np.all(np.isin(out, (-1, 1)))
+
+    @given(pair=label_matrices_like(skill_matrices()))
+    @settings(max_examples=80, deadline=None)
+    def test_label_flip_flips_scores(self, pair):
+        """Negating every label negates every weighted score."""
+        labels, skills = pair
+        assert np.allclose(
+            weighted_scores(labels, skills), -weighted_scores(-labels, skills)
+        )
+
+    @given(pair=label_matrices_like(skill_matrices()))
+    @settings(max_examples=80, deadline=None)
+    def test_skill_reflection_flips_scores(self, pair):
+        """θ → 1−θ negates the weights, hence the scores."""
+        labels, skills = pair
+        assert np.allclose(
+            weighted_scores(labels, skills),
+            -weighted_scores(labels, 1.0 - skills),
+        )
+
+    @given(pair=label_matrices_like(skill_matrices()))
+    @settings(max_examples=80, deadline=None)
+    def test_majority_equals_weighted_at_uniform_skill(self, pair):
+        """With identical above-half skills the two rules agree (same tie rule)."""
+        labels, _ = pair
+        uniform = np.full(labels.shape, 0.8)
+        assert np.array_equal(
+            majority_vote(labels), weighted_aggregate(labels, uniform)
+        )
+
+    @given(pair=label_matrices_like(skill_matrices()))
+    @settings(max_examples=60, deadline=None)
+    def test_adding_silent_worker_changes_nothing(self, pair):
+        labels, skills = pair
+        labels2 = np.vstack([labels, np.zeros((1, labels.shape[1]), dtype=int)])
+        skills2 = np.vstack([skills, np.full((1, skills.shape[1]), 0.7)])
+        assert np.array_equal(
+            weighted_aggregate(labels, skills), weighted_aggregate(labels2, skills2)
+        )

@@ -1,0 +1,105 @@
+"""Property-based tests for the set-multicover substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.coverage.bounds import greedy_approximation_factor
+from repro.coverage.exact import solve_exact
+from repro.coverage.greedy import greedy_cover, static_order_cover
+from repro.coverage.lp import lp_lower_bound
+from repro.coverage.problem import CoverProblem
+from repro.exceptions import InfeasibleError
+
+
+def cover_problems(max_items=12, max_constraints=4):
+    """Strategy: coverable problems with lattice-valued gains/demands."""
+
+    @st.composite
+    def build(draw):
+        n_items = draw(st.integers(1, max_items))
+        n_constraints = draw(st.integers(1, max_constraints))
+        gains = draw(
+            arrays(
+                dtype=np.float64,
+                shape=(n_items, n_constraints),
+                elements=st.sampled_from([0.0, 0.1, 0.25, 0.5, 0.75, 1.0]),
+            )
+        )
+        demand_scale = draw(st.floats(0.1, 0.9))
+        demands = gains.sum(axis=0) * demand_scale
+        return CoverProblem(gains=gains, demands=demands)
+
+    return build()
+
+
+class TestGreedyProperties:
+    @given(problem=cover_problems())
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_result_is_always_feasible(self, problem):
+        result = greedy_cover(problem)
+        assert problem.is_feasible(result.selection)
+
+    @given(problem=cover_problems())
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_selection_has_no_duplicates(self, problem):
+        result = greedy_cover(problem)
+        assert len(set(result.order)) == len(result.order)
+
+    @given(problem=cover_problems())
+    @settings(max_examples=60, deadline=None)
+    def test_static_cover_feasible_and_no_smaller_than_greedy_trunc(self, problem):
+        static = static_order_cover(problem)
+        assert problem.is_feasible(static.selection)
+
+    @given(problem=cover_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_minimal_prefix(self, problem):
+        """Dropping the last greedily-selected item breaks feasibility."""
+        result = greedy_cover(problem)
+        assume(result.size > 0)
+        without_last = [i for i in result.order[:-1]]
+        assert not problem.is_feasible(without_last) or len(without_last) == len(
+            result.order
+        )
+
+
+class TestSolverSandwich:
+    @given(problem=cover_problems(max_items=10, max_constraints=3))
+    @settings(max_examples=25, deadline=None)
+    def test_lp_opt_greedy_sandwich(self, problem):
+        """LP ≤ OPT ≤ greedy ≤ 2βH_m·OPT, on every coverable instance."""
+        lp = lp_lower_bound(problem).objective
+        opt = solve_exact(problem, backend="milp").size
+        greedy = greedy_cover(problem).size
+        assert lp <= opt + 1e-6
+        assert opt <= greedy
+        if opt > 0:
+            factor = greedy_approximation_factor(problem, unit=0.05)
+            assert greedy <= factor * opt + 1e-9
+
+    @given(problem=cover_problems(max_items=8, max_constraints=3))
+    @settings(max_examples=15, deadline=None)
+    def test_backends_agree(self, problem):
+        milp = solve_exact(problem, backend="milp").size
+        bnb = solve_exact(problem, backend="bnb").size
+        assert milp == bnb
+
+
+class TestResidualProperties:
+    @given(problem=cover_problems())
+    @settings(max_examples=60, deadline=None)
+    def test_residual_monotone_under_selection_growth(self, problem):
+        """Adding items never increases any residual demand."""
+        items = list(range(problem.n_items))
+        for cut in range(len(items)):
+            r_small = problem.residual(items[:cut])
+            r_big = problem.residual(items[: cut + 1])
+            assert np.all(r_big <= r_small + 1e-12)
+
+    @given(problem=cover_problems())
+    @settings(max_examples=60, deadline=None)
+    def test_residual_never_negative(self, problem):
+        assert np.all(problem.residual(range(problem.n_items)) >= 0)

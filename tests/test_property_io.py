@@ -1,0 +1,80 @@
+"""Property-based round-trip tests for repro.io (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import io as repro_io
+from repro.auction.bids import Bid, BidProfile
+from repro.auction.instance import AuctionInstance
+from repro.auction.outcome import AuctionOutcome
+from repro.mcs.workers import WorkerPool
+
+
+@st.composite
+def instances(draw):
+    n = draw(st.integers(1, 6))
+    k = draw(st.integers(1, 4))
+    quality = draw(
+        arrays(np.float64, (n, k), elements=st.floats(0.0, 1.0, allow_nan=False))
+    )
+    demands = draw(
+        arrays(np.float64, (k,), elements=st.floats(0.0, 3.0, allow_nan=False))
+    )
+    bids = []
+    for _ in range(n):
+        size = draw(st.integers(1, k))
+        bundle = draw(
+            st.lists(st.integers(0, k - 1), min_size=size, max_size=size)
+        )
+        price = draw(st.floats(0.5, 9.5, allow_nan=False))
+        bids.append(Bid(bundle, round(price, 4)))
+    grid = sorted(
+        set(draw(st.lists(st.floats(1.0, 10.0), min_size=1, max_size=5)))
+    )
+    return AuctionInstance(
+        bids=BidProfile(bids),
+        quality=quality,
+        demands=demands,
+        price_grid=np.round(np.asarray(grid), 6),
+        c_min=0.5,
+        c_max=10.0,
+    )
+
+
+@st.composite
+def outcomes(draw):
+    n = draw(st.integers(1, 8))
+    winners = draw(
+        st.lists(st.integers(0, n - 1), unique=True, max_size=n)
+    )
+    price = round(draw(st.floats(0.0, 50.0, allow_nan=False)), 6)
+    return AuctionOutcome(winners=winners, price=price, n_workers=n)
+
+
+class TestRoundTripProperties:
+    @given(instance=instances())
+    @settings(max_examples=40, deadline=None)
+    def test_instance_round_trip_is_identity(self, instance, tmp_path_factory):
+        payload = repro_io.instance_to_dict(instance)
+        restored = repro_io.instance_from_dict(payload)
+        assert restored.bids == instance.bids
+        assert np.array_equal(restored.quality, instance.quality)
+        assert np.array_equal(restored.demands, instance.demands)
+        assert np.array_equal(restored.price_grid, instance.price_grid)
+
+    @given(outcome=outcomes())
+    @settings(max_examples=40, deadline=None)
+    def test_outcome_round_trip_is_identity(self, outcome):
+        restored = repro_io.outcome_from_dict(repro_io.outcome_to_dict(outcome))
+        assert np.array_equal(restored.winners, outcome.winners)
+        assert restored.price == outcome.price
+        assert np.array_equal(restored.payments, outcome.payments)
+
+    @given(outcome=outcomes())
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_preserves_total_payment(self, outcome):
+        restored = repro_io.outcome_from_dict(repro_io.outcome_to_dict(outcome))
+        assert restored.total_payment == outcome.total_payment

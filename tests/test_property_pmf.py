@@ -1,0 +1,91 @@
+"""Property-based tests of PricePMF identities (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auction.mechanism import PricePMF
+
+
+@st.composite
+def pmfs(draw):
+    m = draw(st.integers(1, 8))
+    n_workers = draw(st.integers(1, 6))
+    prices = np.cumsum(
+        np.array(draw(st.lists(st.floats(0.1, 5.0), min_size=m, max_size=m)))
+    )
+    weights = np.array(draw(st.lists(st.floats(0.01, 1.0), min_size=m, max_size=m)))
+    probs = weights / weights.sum()
+    sets = []
+    for _ in range(m):
+        size = draw(st.integers(0, n_workers))
+        sets.append(
+            np.array(
+                draw(
+                    st.lists(
+                        st.integers(0, n_workers - 1),
+                        unique=True,
+                        min_size=size,
+                        max_size=size,
+                    )
+                ),
+                dtype=int,
+            )
+        )
+    return PricePMF(
+        prices=np.round(prices, 8),
+        probabilities=probs,
+        winner_sets=tuple(sets),
+        n_workers=n_workers,
+    )
+
+
+class TestPMFIdentities:
+    @given(pmf=pmfs())
+    @settings(max_examples=60, deadline=None)
+    def test_expected_payment_is_prob_weighted_sum(self, pmf):
+        manual = sum(
+            float(pmf.probabilities[k]) * float(pmf.prices[k]) * pmf.winner_sets[k].size
+            for k in range(pmf.support_size)
+        )
+        assert pmf.expected_total_payment() == pytest.approx(manual)
+
+    @given(pmf=pmfs())
+    @settings(max_examples=60, deadline=None)
+    def test_variance_nonnegative(self, pmf):
+        assert pmf.std_total_payment() >= 0.0
+
+    @given(pmf=pmfs())
+    @settings(max_examples=60, deadline=None)
+    def test_win_probabilities_in_unit_interval(self, pmf):
+        for worker in range(pmf.n_workers):
+            p = pmf.win_probability(worker)
+            assert -1e-12 <= p <= 1 + 1e-12
+
+    @given(pmf=pmfs())
+    @settings(max_examples=60, deadline=None)
+    def test_expected_utility_linear_in_cost(self, pmf):
+        """E[u](cost) = E[u](0) − cost · Pr[win] — linearity identity."""
+        for worker in (0, pmf.n_workers - 1):
+            at_zero = pmf.expected_utility(worker, 0.0)
+            cost = 2.5
+            expected = at_zero - cost * pmf.win_probability(worker)
+            assert pmf.expected_utility(worker, cost) == pytest.approx(expected)
+
+    @given(pmf=pmfs())
+    @settings(max_examples=40, deadline=None)
+    def test_sampled_outcomes_always_from_support(self, pmf):
+        outcome = pmf.sample_outcome(seed=0)
+        idx = int(np.searchsorted(pmf.prices, outcome.price))
+        assert np.isclose(pmf.prices[idx], outcome.price)
+        assert outcome.winners.tolist() == sorted(pmf.winner_sets[idx].tolist())
+
+    @given(pmf=pmfs())
+    @settings(max_examples=40, deadline=None)
+    def test_outcome_at_total_payment_identity(self, pmf):
+        for k in range(pmf.support_size):
+            outcome = pmf.outcome_at(k)
+            assert outcome.total_payment == pytest.approx(
+                float(pmf.total_payments[k])
+            )

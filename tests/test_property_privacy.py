@@ -1,0 +1,103 @@
+"""Property-based tests for the privacy substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.privacy.exponential import ExponentialMechanism
+from repro.privacy.leakage import kl_divergence, max_log_ratio, total_variation
+
+
+def score_vectors(max_len=12):
+    return arrays(
+        dtype=np.float64,
+        shape=st.integers(1, max_len),
+        elements=st.floats(-100.0, 100.0, allow_nan=False),
+    )
+
+
+def distributions(n):
+    return arrays(
+        dtype=np.float64, shape=n, elements=st.floats(0.01, 1.0)
+    ).map(lambda v: v / v.sum())
+
+
+class TestExponentialMechanismProperties:
+    @given(scores=score_vectors(), epsilon=st.floats(0.01, 50.0))
+    @settings(max_examples=80, deadline=None)
+    def test_pmf_normalizes_and_is_positive(self, scores, epsilon):
+        mech = ExponentialMechanism(scores, epsilon, sensitivity=10.0)
+        probs = mech.probabilities
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs > 0)
+
+    @given(scores=score_vectors(), epsilon=st.floats(0.01, 5.0))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_score(self, scores, epsilon):
+        """A strictly larger score never has a smaller probability."""
+        mech = ExponentialMechanism(scores, epsilon, sensitivity=10.0)
+        probs = mech.probabilities
+        order = np.argsort(scores)
+        assert np.all(np.diff(probs[order]) >= -1e-12)
+
+    @given(
+        scores=score_vectors(),
+        epsilon=st.floats(0.05, 5.0),
+        sensitivity=st.floats(0.5, 20.0),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dp_guarantee_under_bounded_shift(self, scores, epsilon, sensitivity, data):
+        """Any per-score shift bounded by the sensitivity keeps the
+        log-probability change within ε — the defining DP property."""
+        shift = data.draw(
+            arrays(
+                dtype=np.float64,
+                shape=scores.shape,
+                elements=st.floats(-1.0, 1.0),
+            )
+        )
+        a = ExponentialMechanism(scores, epsilon, sensitivity)
+        b = ExponentialMechanism(scores + shift * sensitivity, epsilon, sensitivity)
+        diff = np.abs(a.log_probabilities - b.log_probabilities)
+        assert float(np.max(diff)) <= epsilon + 1e-7
+
+
+class TestDivergenceProperties:
+    @given(data=st.data(), n=st.integers(2, 10))
+    @settings(max_examples=80, deadline=None)
+    def test_kl_nonnegative_and_zero_iff_equal(self, data, n):
+        p = data.draw(distributions(n))
+        q = data.draw(distributions(n))
+        kl = kl_divergence(p, q)
+        assert kl >= -1e-12
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    @given(data=st.data(), n=st.integers(2, 10))
+    @settings(max_examples=80, deadline=None)
+    def test_tv_symmetric_and_bounded(self, data, n):
+        p = data.draw(distributions(n))
+        q = data.draw(distributions(n))
+        tv = total_variation(p, q)
+        assert 0.0 <= tv <= 1.0
+        assert tv == pytest.approx(total_variation(q, p))
+
+    @given(data=st.data(), n=st.integers(2, 10))
+    @settings(max_examples=80, deadline=None)
+    def test_pinsker_inequality(self, data, n):
+        """TV ≤ sqrt(KL/2) — a nontrivial cross-check of both measures."""
+        p = data.draw(distributions(n))
+        q = data.draw(distributions(n))
+        tv = total_variation(p, q)
+        kl = kl_divergence(p, q)
+        assert tv <= np.sqrt(kl / 2.0) + 1e-9
+
+    @given(data=st.data(), n=st.integers(2, 10))
+    @settings(max_examples=80, deadline=None)
+    def test_max_log_ratio_dominates_kl(self, data, n):
+        """KL(P||Q) ≤ max-divergence — pure DP implies bounded KL leakage."""
+        p = data.draw(distributions(n))
+        q = data.draw(distributions(n))
+        assert kl_divergence(p, q) <= max_log_ratio(p, q) + 1e-9

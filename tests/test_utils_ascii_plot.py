@@ -1,0 +1,90 @@
+"""Unit tests for repro.utils.ascii_plot and the CLI --plot path."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.export import plot
+from repro.experiments.runner import ExperimentResult
+from repro.utils.ascii_plot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]})
+        assert "*" in chart and "o" in chart
+        assert "* a" in chart and "o b" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart([10, 20], {"s": [5.0, 50.0]})
+        assert "50" in chart and "5" in chart  # y extremes
+        assert "10" in chart and "20" in chart  # x extremes
+
+    def test_rising_series_rises(self):
+        chart = ascii_chart([1, 2, 3], {"up": [0.0, 5.0, 10.0]}, width=30, height=5)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        first_marker_row = next(i for i, r in enumerate(rows) if "*" in r)
+        last_marker_row = max(i for i, r in enumerate(rows) if "*" in r)
+        # Higher y values render on earlier (upper) rows.
+        assert first_marker_row < last_marker_row
+
+    def test_title_prepended(self):
+        chart = ascii_chart([1, 2], {"s": [1.0, 2.0]}, title="My Chart")
+        assert chart.splitlines()[0] == "My Chart"
+
+    def test_constant_series_renders(self):
+        chart = ascii_chart([1, 2, 3], {"flat": [4.0, 4.0, 4.0]})
+        assert "*" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ascii_chart([], {"s": []})
+        with pytest.raises(ValidationError):
+            ascii_chart([1, 2], {})
+        with pytest.raises(ValidationError, match="ascending"):
+            ascii_chart([2, 1], {"s": [1.0, 2.0]})
+        with pytest.raises(ValidationError, match="points"):
+            ascii_chart([1, 2], {"s": [1.0]})
+        with pytest.raises(ValidationError, match="8x3"):
+            ascii_chart([1, 2], {"s": [1.0, 2.0]}, width=2)
+
+
+class TestResultPlot:
+    def test_prefers_mean_columns(self):
+        result = ExperimentResult(
+            name="x", title="T",
+            headers=["n", "dp mean", "dp std"],
+            rows=[(1, 10.0, 1.0), (2, 20.0, 2.0)],
+        )
+        chart = plot(result)
+        assert chart is not None
+        assert "dp mean" in chart
+        assert "dp std" not in chart
+
+    def test_non_numeric_axis_returns_none(self):
+        result = ExperimentResult(
+            name="x", title="T", headers=["who", "v"], rows=[("a", 1.0)]
+        )
+        assert plot(result) is None
+
+    def test_descending_axis_returns_none(self):
+        result = ExperimentResult(
+            name="x", title="T", headers=["n", "v"], rows=[(3, 1.0), (1, 2.0)]
+        )
+        assert plot(result) is None
+
+    def test_nonfinite_series_skipped(self):
+        result = ExperimentResult(
+            name="x", title="T",
+            headers=["n", "good", "bad"],
+            rows=[(1, 1.0, float("inf")), (2, 2.0, 3.0)],
+        )
+        chart = plot(result)
+        assert chart is not None
+        assert "bad" not in chart
+
+    def test_cli_plot_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1", "--plot"]) == 0  # not chartable: no crash
+        out = capsys.readouterr().out
+        assert "Table I" in out

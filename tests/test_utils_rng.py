@@ -1,0 +1,60 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a, b = ensure_rng(7), ensure_rng(7)
+        assert a.random() == b.random()
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_generator_passthrough_is_identity(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_numpy_integer_seed_accepted(self):
+        assert isinstance(ensure_rng(np.int64(5)), np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            ensure_rng("not-a-seed")
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            ensure_rng(1.5)
+
+
+class TestSpawnRngs:
+    def test_count_respected(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_children_ok(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_children_are_independent(self):
+        a, b = spawn_rngs(0, 2)
+        # Different streams: drawing from one does not affect the other.
+        before = b.random()
+        a.random(1000)
+        c, d = spawn_rngs(0, 2)
+        c.random(1000)
+        assert d.random() == before
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+    def test_spawn_is_deterministic_for_seed(self):
+        a1, a2 = spawn_rngs(42, 2)
+        b1, b2 = spawn_rngs(42, 2)
+        assert a1.random() == b1.random()
+        assert a2.random() == b2.random()

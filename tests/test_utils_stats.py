@@ -1,0 +1,75 @@
+"""Unit tests for repro.utils.stats."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.stats import bootstrap_ci, mean_confidence_interval
+
+
+class TestMeanCI:
+    def test_contains_mean(self):
+        est = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert est.low <= est.estimate <= est.high
+        assert est.estimate == pytest.approx(2.5)
+        assert est.n == 4
+
+    def test_single_observation_degenerates(self):
+        est = mean_confidence_interval([7.0])
+        assert est.low == est.high == est.estimate == 7.0
+
+    def test_zero_variance_zero_width(self):
+        est = mean_confidence_interval([3.0, 3.0, 3.0])
+        assert est.half_width == pytest.approx(0.0)
+
+    def test_higher_confidence_wider(self):
+        data = [1.0, 2.0, 4.0, 8.0, 16.0]
+        narrow = mean_confidence_interval(data, confidence=0.5)
+        wide = mean_confidence_interval(data, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_coverage_simulation(self):
+        """~95% of 95% intervals should contain the true mean."""
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            sample = rng.normal(10.0, 2.0, size=15)
+            est = mean_confidence_interval(sample, confidence=0.95)
+            hits += est.low <= 10.0 <= est.high
+        assert hits / trials == pytest.approx(0.95, abs=0.04)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            mean_confidence_interval([])
+        with pytest.raises(ValidationError):
+            mean_confidence_interval([1.0], confidence=1.5)
+
+
+class TestBootstrapCI:
+    def test_contains_point_estimate(self):
+        rng = np.random.default_rng(1)
+        data = rng.exponential(2.0, size=40)
+        est = bootstrap_ci(data, seed=2)
+        assert est.low <= est.estimate <= est.high
+
+    def test_custom_statistic(self):
+        data = [1.0, 2.0, 3.0, 100.0]
+        est = bootstrap_ci(data, statistic=np.median, seed=3)
+        assert est.estimate == pytest.approx(2.5)
+
+    def test_reproducible(self):
+        data = list(range(20))
+        a = bootstrap_ci(data, seed=4)
+        b = bootstrap_ci(data, seed=4)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_single_observation(self):
+        est = bootstrap_ci([5.0], seed=0)
+        assert est.low == est.high == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bootstrap_ci([], seed=0)
+        with pytest.raises(ValidationError):
+            bootstrap_ci([1.0, 2.0], n_resamples=0, seed=0)

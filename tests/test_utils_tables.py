@@ -1,0 +1,58 @@
+"""Unit tests for repro.utils.tables and repro.utils.timer."""
+
+import pytest
+
+from repro.utils.tables import format_value, render_table
+from repro.utils.timer import Timer
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(3.14159, precision=2) == "3.14"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+    def test_none_and_bool(self):
+        assert format_value(None) == "None"
+        assert format_value(True) == "True"
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(["a", "bb"], [(1, 2.5), (10, 3.25)], precision=2)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.50" in lines[2]
+
+    def test_title_prepended(self):
+        text = render_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [(1,)])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_columns_right_justified(self):
+        text = render_table(["col"], [(1,), (100,)])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+
+class TestTimer:
+    def test_measures_nonnegative(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0

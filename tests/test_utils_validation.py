@@ -1,0 +1,93 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils import validation
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        validation.require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValidationError, match="broken"):
+            validation.require(False, "broken")
+
+
+class TestScalarChecks:
+    def test_positive_accepts(self):
+        validation.require_positive(0.1, "x")
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ValidationError, match="x"):
+            validation.require_positive(bad, "x")
+
+    def test_nonnegative_accepts_zero(self):
+        validation.require_nonnegative(0.0, "x")
+
+    def test_nonnegative_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            validation.require_nonnegative(-0.001, "x")
+
+    def test_probability_closed_interval(self):
+        validation.require_probability(0.0, "p")
+        validation.require_probability(1.0, "p")
+
+    def test_probability_open_interval_rejects_endpoints(self):
+        with pytest.raises(ValidationError):
+            validation.require_probability(0.0, "p", open_interval=True)
+        with pytest.raises(ValidationError):
+            validation.require_probability(1.0, "p", open_interval=True)
+
+    def test_probability_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            validation.require_probability(1.5, "p")
+
+
+class TestArrayChecks:
+    def test_unit_interval_accepts(self):
+        validation.require_in_unit_interval(np.array([0.0, 0.5, 1.0]), "a")
+
+    def test_unit_interval_rejects(self):
+        with pytest.raises(ValidationError, match="a"):
+            validation.require_in_unit_interval(np.array([0.5, 1.1]), "a")
+
+    def test_unit_interval_empty_ok(self):
+        validation.require_in_unit_interval(np.array([]), "a")
+
+    def test_require_shape(self):
+        validation.require_shape(np.zeros((2, 3)), (2, 3), "m")
+        with pytest.raises(ValidationError, match="shape"):
+            validation.require_shape(np.zeros((3, 2)), (2, 3), "m")
+
+
+class TestAsFloatArray:
+    def test_copies_input(self):
+        src = np.array([1.0, 2.0])
+        out = validation.as_float_array(src, "a")
+        out[0] = 99.0
+        assert src[0] == 1.0
+
+    def test_casts_ints(self):
+        out = validation.as_float_array([1, 2], "a")
+        assert out.dtype == np.float64
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            validation.as_float_array([1.0, float("nan")], "a")
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValidationError, match="1-dimensional"):
+            validation.as_float_array([[1.0]], "a", ndim=1)
+
+
+class TestAsSortedUnique:
+    def test_sorts_and_dedups(self):
+        out = validation.as_sorted_unique([3.0, 1.0, 3.0, 2.0], "a")
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_empty_passthrough(self):
+        assert validation.as_sorted_unique([], "a").size == 0

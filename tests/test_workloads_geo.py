@@ -1,0 +1,102 @@
+"""Unit tests for repro.workloads.geo (route-structured markets)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workloads.geo import GeoCityConfig, generate_geo_market
+
+
+@pytest.fixture(scope="module")
+def small_market():
+    config = GeoCityConfig(rows=3, cols=4, n_commuters=120, error_threshold=0.3)
+    return config, generate_geo_market(config, seed=0)
+
+
+class TestConfig:
+    def test_segment_count(self):
+        config = GeoCityConfig(rows=3, cols=4)
+        # 3 rows of 3 horizontal segments + 4 cols of 2 vertical segments.
+        assert config.n_segments == 3 * 3 + 4 * 2
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValidationError):
+            GeoCityConfig(rows=1, cols=5)
+
+    def test_rejects_bad_quality_range(self):
+        with pytest.raises(ValidationError):
+            GeoCityConfig(device_quality_range=(0.4, 0.9))
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValidationError):
+            GeoCityConfig(error_threshold=0.0)
+
+
+class TestGeneratedMarket:
+    def test_shapes_line_up(self, small_market):
+        config, market = small_market
+        assert market.instance.n_tasks == config.n_segments
+        assert market.instance.n_workers == config.n_commuters
+        assert market.tasks.n_tasks == config.n_segments
+        assert len(market.segment_index) == config.n_segments
+
+    def test_market_is_feasible(self, small_market):
+        _, market = small_market
+        coverage = market.instance.effective_quality.sum(axis=0)
+        assert np.all(coverage >= market.instance.demands - 1e-9)
+
+    def test_bundles_are_connected_routes(self, small_market):
+        """Every bundle's segments must form one connected path."""
+        import networkx as nx
+
+        config, market = small_market
+        edge_of = {idx: edge for edge, idx in market.segment_index.items()}
+        for bundle in market.pool.bundles:
+            subgraph = nx.Graph(edge_of[s] for s in bundle)
+            assert nx.is_connected(subgraph)
+
+    def test_costs_grow_with_route_length(self, small_market):
+        _, market = small_market
+        lengths = np.array([len(b) for b in market.pool.bundles], dtype=float)
+        costs = market.pool.costs
+        corr = np.corrcoef(lengths, costs)[0, 1]
+        assert corr > 0.5
+
+    def test_skills_above_half(self, small_market):
+        _, market = small_market
+        assert np.all(market.pool.skills >= 0.5)
+
+    def test_reproducible(self):
+        config = GeoCityConfig(rows=3, cols=3, n_commuters=100, error_threshold=0.35)
+        a = generate_geo_market(config, seed=5)
+        b = generate_geo_market(config, seed=5)
+        assert np.array_equal(a.pool.skills, b.pool.skills)
+        assert a.pool.bundles == b.pool.bundles
+
+    def test_infeasible_city_raises(self):
+        from repro.exceptions import InfeasibleError
+
+        sparse = GeoCityConfig(
+            rows=6, cols=6, n_commuters=5, error_threshold=0.05
+        )
+        with pytest.raises(InfeasibleError, match="cannot cover"):
+            generate_geo_market(sparse, seed=0, max_retries=3)
+
+    def test_mechanism_runs_on_geo_market(self, small_market):
+        from repro.mechanisms.dp_hsrc import DPHSRCAuction
+
+        _, market = small_market
+        outcome = DPHSRCAuction(epsilon=0.5).run(market.instance, seed=1)
+        assert outcome.n_winners > 0
+
+
+class TestGeoExperiment:
+    def test_fast_run_shape(self):
+        from repro.cli import run_experiment
+
+        result = run_experiment("geo_workload", fast=True)
+        assert len(result.rows) == 3
+        for row in result.rows:
+            geo = row[result.headers.index("dp_hsrc geo E[R]")]
+            base_geo = row[result.headers.index("baseline geo E[R]")]
+            assert geo <= base_geo * 1.05  # adaptive rule wins on routes too
