@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Benchmark-regression harness: time the hot paths, write BENCH_*.json.
+
+Times three layers on pinned seeded workloads (see
+``repro.bench.workloads``) and records machine-readable results so the
+repository accumulates a performance trajectory across PRs:
+
+* the greedy set-multicover kernels (vectorized vs the retained
+  reference implementation) → ``BENCH_greedy.json``;
+* ``DPHSRCAuction.price_pmf`` (full Algorithm 1 winner-set stage, both
+  kernels) and the :class:`~repro.bench.BatchAuctionRunner` serial /
+  process backends → ``BENCH_auction.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py            # full pinned suite
+    PYTHONPATH=src python scripts/bench.py --smoke    # CI-sized, seconds
+    PYTHONPATH=src python scripts/bench.py --out-dir /tmp/bench
+
+Every entry carries the workload's shape and seed; timings are
+``best-of-repeats`` wall-clock seconds.  Correctness is asserted inline
+(vectorized == reference selections, batched == serial outcomes) so a
+benchmark run doubles as an integration check.
+
+Reading a regression: compare ``seconds`` fields of the same ``name`` +
+shape across commits (timings move with hardware; the ``speedup`` ratios
+are the hardware-independent signal — see docs/USAGE.md §Performance).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.bench import BENCH_SETTING, BatchAuctionRunner, seeded_auction_batch  # noqa: E402
+from repro.bench.workloads import seeded_cover_problem  # noqa: E402
+from repro.coverage.greedy import greedy_cover, static_order_cover  # noqa: E402
+from repro.coverage.reference import (  # noqa: E402
+    reference_greedy_cover,
+    reference_static_order_cover,
+)
+from repro.mechanisms.dp_hsrc import DPHSRCAuction  # noqa: E402
+
+SCHEMA = "repro-bench/1"
+
+#: Pinned greedy-kernel workloads: (n_items, n_constraints).
+FULL_GREEDY_SHAPES = [(500, 30), (1000, 50), (2000, 50)]
+SMOKE_GREEDY_SHAPES = [(60, 8), (120, 10)]
+
+WORKLOAD_SEED = 2016
+MASTER_RUN_SEED = 7
+
+
+def best_of(fn, repeats: int) -> tuple[float, object]:
+    """Best (minimum) wall-clock seconds over ``repeats`` calls."""
+    best = float("inf")
+    value = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def bench_greedy(shapes, repeats: int, ref_repeats: int) -> list[dict]:
+    """Vectorized vs reference kernels on every pinned shape."""
+    results = []
+    for n_items, n_constraints in shapes:
+        problem = seeded_cover_problem(n_items, n_constraints, seed=WORKLOAD_SEED)
+        for name, fast, slow in (
+            ("greedy_cover", greedy_cover, reference_greedy_cover),
+            ("static_order_cover", static_order_cover, reference_static_order_cover),
+        ):
+            vec_s, vec = best_of(lambda f=fast: f(problem), repeats)
+            ref_s, ref = best_of(lambda f=slow: f(problem), ref_repeats)
+            if vec.order != ref.order:
+                raise AssertionError(
+                    f"{name} vectorized/reference divergence at N={n_items}, K={n_constraints}"
+                )
+            results.append(
+                {
+                    "name": name,
+                    "n_items": n_items,
+                    "n_constraints": n_constraints,
+                    "seed": WORKLOAD_SEED,
+                    "repeats": repeats,
+                    "cover_size": vec.size,
+                    "vectorized_seconds": vec_s,
+                    "reference_seconds": ref_s,
+                    "speedup": ref_s / vec_s if vec_s > 0 else float("inf"),
+                    "match": True,
+                }
+            )
+            print(
+                f"  {name:>20} N={n_items:<5} K={n_constraints:<4} "
+                f"|S|={vec.size:<4} vec={vec_s * 1e3:8.2f} ms "
+                f"ref={ref_s * 1e3:9.2f} ms speedup={ref_s / vec_s:6.1f}x"
+            )
+    return results
+
+
+def bench_price_pmf(smoke: bool, repeats: int) -> list[dict]:
+    """Full Algorithm 1 winner-set stage, vectorized and reference kernels."""
+    results = []
+    configs = [(60, 10)] if smoke else [(200, 20), (500, 30)]
+    for n_workers, n_tasks in configs:
+        [instance] = seeded_auction_batch(
+            1, n_workers=n_workers, n_tasks=n_tasks, seed=WORKLOAD_SEED
+        )
+        vec_mech = DPHSRCAuction(epsilon=BENCH_SETTING.epsilon)
+        ref_mech = DPHSRCAuction(
+            epsilon=BENCH_SETTING.epsilon, cover_solver=reference_greedy_cover
+        )
+        vec_s, vec_pmf = best_of(lambda: vec_mech.price_pmf(instance), repeats)
+        ref_s, ref_pmf = best_of(lambda: ref_mech.price_pmf(instance), max(1, repeats // 2))
+        match = all(
+            np.array_equal(a, b)
+            for a, b in zip(vec_pmf.winner_sets, ref_pmf.winner_sets)
+        )
+        if not match:
+            raise AssertionError("price_pmf winner sets diverged between kernels")
+        results.append(
+            {
+                "name": "price_pmf",
+                "n_workers": n_workers,
+                "n_tasks": n_tasks,
+                "seed": WORKLOAD_SEED,
+                "repeats": repeats,
+                "support_size": vec_pmf.support_size,
+                "mean_cover_size": float(np.mean(vec_pmf.cover_sizes)),
+                "vectorized_seconds": vec_s,
+                "reference_seconds": ref_s,
+                "speedup": ref_s / vec_s if vec_s > 0 else float("inf"),
+                "match": True,
+            }
+        )
+        print(
+            f"  {'price_pmf':>20} N={n_workers:<5} K={n_tasks:<4} "
+            f"|P|={vec_pmf.support_size:<4} vec={vec_s * 1e3:8.2f} ms "
+            f"ref={ref_s * 1e3:9.2f} ms speedup={ref_s / vec_s:6.1f}x"
+        )
+    return results
+
+
+def bench_batch_runner(smoke: bool) -> list[dict]:
+    """Serial vs process-pool batch execution; asserts identical outcomes."""
+    n_instances = 8 if smoke else 32
+    n_workers = 40 if smoke else 80
+    batch = seeded_auction_batch(
+        n_instances, n_workers=n_workers, n_tasks=10, seed=WORKLOAD_SEED
+    )
+    mechanism = DPHSRCAuction(epsilon=BENCH_SETTING.epsilon)
+    serial = BatchAuctionRunner(mechanism, backend="serial").run(batch, seed=MASTER_RUN_SEED)
+    results = [
+        {
+            "name": "batch_runner",
+            "backend": "serial",
+            "n_instances": n_instances,
+            "n_workers_per_instance": n_workers,
+            "max_workers": 1,
+            "seed": MASTER_RUN_SEED,
+            "seconds": serial.wall_time,
+            "mean_winners": float(np.mean([o.n_winners for o in serial.outcomes])),
+            "identical_to_serial": True,
+        }
+    ]
+    print(
+        f"  {'batch_runner':>20} B={n_instances:<4} backend=serial   "
+        f"{serial.wall_time * 1e3:8.2f} ms"
+    )
+    for workers in (2,) if smoke else (2, 4):
+        pooled = BatchAuctionRunner(
+            mechanism, backend="process", max_workers=workers
+        ).run(batch, seed=MASTER_RUN_SEED)
+        identical = all(
+            a.price == b.price and np.array_equal(a.winners, b.winners)
+            for a, b in zip(serial.outcomes, pooled.outcomes)
+        )
+        if not identical:
+            raise AssertionError(
+                f"batched (workers={workers}) and serial outcomes diverged"
+            )
+        results.append(
+            {
+                "name": "batch_runner",
+                "backend": "process",
+                "n_instances": n_instances,
+                "n_workers_per_instance": n_workers,
+                "max_workers": workers,
+                "seed": MASTER_RUN_SEED,
+                "seconds": pooled.wall_time,
+                "mean_winners": float(np.mean([o.n_winners for o in pooled.outcomes])),
+                "identical_to_serial": True,
+            }
+        )
+        print(
+            f"  {'batch_runner':>20} B={n_instances:<4} backend=process:{workers} "
+            f"{pooled.wall_time * 1e3:8.2f} ms identical=True"
+        )
+    return results
+
+
+def environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI-sized workloads (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory for BENCH_greedy.json / BENCH_auction.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best-of)"
+    )
+    args = parser.parse_args(argv)
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+
+    shapes = SMOKE_GREEDY_SHAPES if args.smoke else FULL_GREEDY_SHAPES
+    print("greedy kernels:")
+    greedy_results = bench_greedy(
+        shapes, repeats=args.repeats, ref_repeats=1 if not args.smoke else args.repeats
+    )
+    greedy_doc = {
+        "schema": SCHEMA,
+        "suite": "greedy",
+        "smoke": args.smoke,
+        "environment": environment(),
+        "results": greedy_results,
+    }
+    greedy_path = args.out_dir / "BENCH_greedy.json"
+    greedy_path.write_text(json.dumps(greedy_doc, indent=2) + "\n")
+
+    print("auction pipeline:")
+    auction_doc = {
+        "schema": SCHEMA,
+        "suite": "auction",
+        "smoke": args.smoke,
+        "environment": environment(),
+        "results": bench_price_pmf(args.smoke, args.repeats) + bench_batch_runner(args.smoke),
+    }
+    auction_path = args.out_dir / "BENCH_auction.json"
+    auction_path.write_text(json.dumps(auction_doc, indent=2) + "\n")
+
+    print(f"wrote {greedy_path} and {auction_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,7 @@ inventory.
 """
 
 from repro.auction import AuctionInstance, AuctionOutcome, Bid, BidProfile, Mechanism, PricePMF
+from repro.bench import BatchAuctionRunner, BatchRunResult
 from repro.mechanisms import (
     BaselineAuction,
     DPHSRCAuction,
@@ -67,6 +68,9 @@ __all__ = [
     "AuctionOutcome",
     "Mechanism",
     "PricePMF",
+    # batched execution
+    "BatchAuctionRunner",
+    "BatchRunResult",
     # mechanisms
     "DPHSRCAuction",
     "BaselineAuction",

@@ -22,7 +22,7 @@ from repro.analysis.payment import (
 )
 from repro.analysis.truthfulness import TruthfulnessReport, truthfulness_audit
 from repro.analysis.rationality import RationalityReport, rationality_audit
-from repro.analysis.dp_verification import DPReport, dp_audit
+from repro.analysis.dp_verification import DPReport, dp_audit, empirical_epsilon
 from repro.analysis.diagnostics import MarketDiagnostics, diagnose
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "rationality_audit",
     "DPReport",
     "dp_audit",
+    "empirical_epsilon",
     "MarketDiagnostics",
     "diagnose",
 ]

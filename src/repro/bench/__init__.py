@@ -1,0 +1,30 @@
+"""Benchmarking and batched-execution harness.
+
+The ROADMAP's north star is to serve many auction instances as fast as
+the hardware allows; this package supplies the two pieces that make that
+measurable and scalable:
+
+* :class:`~repro.bench.batch.BatchAuctionRunner` — executes many
+  :class:`~repro.auction.instance.AuctionInstance`s through one
+  mechanism, serially or on a process pool, with order-free per-instance
+  seeding (:func:`repro.utils.rng.spawn_seed_sequences`) so batched and
+  serial runs produce *identical* outcomes for the same master seed.
+* :mod:`repro.bench.workloads` — pinned, seeded workload generators
+  (cover problems and auction batches) shared by ``scripts/bench.py``,
+  the regression tests, and CI's smoke job, so every ``BENCH_*.json``
+  point is reproducible.
+
+``scripts/bench.py`` ties them together into the benchmark-regression
+harness that writes ``BENCH_greedy.json`` and ``BENCH_auction.json``.
+"""
+
+from repro.bench.batch import BatchAuctionRunner, BatchRunResult
+from repro.bench.workloads import BENCH_SETTING, seeded_auction_batch, seeded_cover_problem
+
+__all__ = [
+    "BatchAuctionRunner",
+    "BatchRunResult",
+    "BENCH_SETTING",
+    "seeded_auction_batch",
+    "seeded_cover_problem",
+]

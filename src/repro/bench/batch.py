@@ -1,0 +1,193 @@
+"""Batched auction execution with reproducible parallelism.
+
+A deployed platform clears many independent auction instances per round
+(one per region, campaign, or time slot).  :class:`BatchAuctionRunner`
+executes such a batch through one mechanism either serially or on a
+:class:`concurrent.futures.ProcessPoolExecutor`, and guarantees the two
+paths are *outcome-identical*: every instance draws its randomness from
+its own :class:`numpy.random.SeedSequence` child (derived from the
+master seed by position, never from a shared generator's consumption
+order), so neither the backend, the worker count, nor the scheduling
+order can change a single price or winner set.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.auction.instance import AuctionInstance
+from repro.auction.mechanism import Mechanism
+from repro.auction.outcome import AuctionOutcome
+from repro.utils.rng import RngLike, spawn_seed_sequences
+
+__all__ = ["BatchAuctionRunner", "BatchRunResult"]
+
+#: Backends accepted by :class:`BatchAuctionRunner`.
+_BACKENDS = ("auto", "serial", "process")
+
+
+def _run_one(
+    mechanism: Mechanism, instance: AuctionInstance, seed: np.random.SeedSequence
+) -> AuctionOutcome:
+    """Execute one instance with its dedicated seed sequence.
+
+    Module-level so it pickles for the process pool; the generator is
+    constructed inside the worker, making the draw independent of which
+    process (or the parent, for the serial path) runs it.
+    """
+    return mechanism.run(instance, np.random.default_rng(seed))
+
+
+@dataclass(frozen=True)
+class BatchRunResult:
+    """Outcomes and execution metadata of one batch run.
+
+    Attributes
+    ----------
+    outcomes:
+        One :class:`~repro.auction.outcome.AuctionOutcome` per instance,
+        in input order.
+    backend:
+        The backend that actually executed the batch (``"serial"`` or
+        ``"process"`` — never ``"auto"``).
+    max_workers:
+        Process count used (1 for the serial backend).
+    wall_time:
+        End-to-end wall-clock seconds for the batch.
+    """
+
+    outcomes: tuple[AuctionOutcome, ...]
+    backend: str
+    max_workers: int
+    wall_time: float
+
+    @property
+    def n_instances(self) -> int:
+        """Number of instances executed."""
+        return len(self.outcomes)
+
+    @property
+    def total_payment(self) -> float:
+        """Sum of the platform's total payment across the batch."""
+        return float(sum(outcome.total_payment for outcome in self.outcomes))
+
+    def prices(self) -> np.ndarray:
+        """The clearing price drawn for each instance, in input order."""
+        return np.array([outcome.price for outcome in self.outcomes], dtype=float)
+
+
+class BatchAuctionRunner:
+    """Run one mechanism over many auction instances, reproducibly.
+
+    Parameters
+    ----------
+    mechanism:
+        Any :class:`~repro.auction.mechanism.Mechanism`.  Must be
+        picklable for the process backend (all library mechanisms are).
+    backend:
+        ``"serial"``, ``"process"``, or ``"auto"`` (default).  ``auto``
+        picks the process pool when the batch is large enough to amortize
+        worker start-up (at least ``process_threshold`` instances) and
+        more than one CPU is available, otherwise runs serially.
+    max_workers:
+        Process count for the process backend; defaults to the CPU count
+        capped by the batch size.
+    process_threshold:
+        Minimum batch size for ``auto`` to choose the process pool.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import DPHSRCAuction
+    >>> from repro.bench import BatchAuctionRunner, seeded_auction_batch
+    >>> batch = seeded_auction_batch(3, n_workers=25, n_tasks=5, seed=0)
+    >>> runner = BatchAuctionRunner(DPHSRCAuction(epsilon=1.0), backend="serial")
+    >>> result = runner.run(batch, seed=42)
+    >>> result.n_instances
+    3
+    >>> again = runner.run(batch, seed=42)
+    >>> bool(np.all(result.prices() == again.prices()))
+    True
+    """
+
+    def __init__(
+        self,
+        mechanism: Mechanism,
+        *,
+        backend: str = "auto",
+        max_workers: int | None = None,
+        process_threshold: int = 8,
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.mechanism = mechanism
+        self.backend = backend
+        self.max_workers = max_workers
+        self.process_threshold = int(process_threshold)
+
+    def _resolve(self, n_instances: int) -> tuple[str, int]:
+        """Pick the concrete backend and worker count for a batch size."""
+        cpus = os.cpu_count() or 1
+        workers = self.max_workers if self.max_workers is not None else cpus
+        workers = max(1, min(workers, max(n_instances, 1)))
+        if self.backend == "process":
+            return "process", workers
+        if self.backend == "serial":
+            return "serial", 1
+        if n_instances >= self.process_threshold and workers > 1 and cpus > 1:
+            return "process", workers
+        return "serial", 1
+
+    def run(
+        self,
+        instances: Sequence[AuctionInstance],
+        seed: Union[RngLike, np.random.SeedSequence] = None,
+    ) -> BatchRunResult:
+        """Execute every instance once and collect the outcomes.
+
+        Parameters
+        ----------
+        instances:
+            The batch, executed in input order (results are returned in
+            the same order regardless of scheduling).
+        seed:
+            Master seed — ``None``, an ``int``, or a ``SeedSequence``.
+            Instance ``i`` always receives child ``i`` of the master, so
+            two runs with the same master seed and batch are identical
+            outcome-for-outcome on *any* backend and worker count.
+        """
+        instances = list(instances)
+        seeds = spawn_seed_sequences(seed, len(instances))
+        backend, workers = self._resolve(len(instances))
+        start = time.perf_counter()
+        if backend == "serial":
+            outcomes = [
+                _run_one(self.mechanism, instance, child)
+                for instance, child in zip(instances, seeds)
+            ]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(
+                    pool.map(
+                        _run_one,
+                        [self.mechanism] * len(instances),
+                        instances,
+                        seeds,
+                        chunksize=max(1, len(instances) // (4 * workers) or 1),
+                    )
+                )
+        wall = time.perf_counter() - start
+        return BatchRunResult(
+            outcomes=tuple(outcomes),
+            backend=backend,
+            max_workers=workers,
+            wall_time=wall,
+        )

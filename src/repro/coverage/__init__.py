@@ -16,6 +16,10 @@ implements the problem model and three solvers:
 * :func:`~repro.coverage.lp.lp_lower_bound` — the LP relaxation used for
   bounding.
 
+The greedy kernels are vectorized; :mod:`repro.coverage.reference`
+retains the per-item-scan reference implementations they are validated
+against bit-for-bit (and benchmarked against in ``BENCH_greedy.json``).
+
 All solvers operate on :class:`~repro.coverage.problem.CoverProblem`,
 which is independent of auctions: gains are any non-negative matrix and
 demands any non-negative vector.
@@ -23,6 +27,7 @@ demands any non-negative vector.
 
 from repro.coverage.problem import CoverProblem
 from repro.coverage.greedy import GreedyResult, greedy_cover, static_order_cover
+from repro.coverage.reference import reference_greedy_cover, reference_static_order_cover
 from repro.coverage.exact import ExactResult, solve_exact
 from repro.coverage.rounding import RoundingResult, randomized_rounding_cover
 from repro.coverage.lp import lp_lower_bound
@@ -39,6 +44,8 @@ __all__ = [
     "GreedyResult",
     "greedy_cover",
     "static_order_cover",
+    "reference_greedy_cover",
+    "reference_static_order_cover",
     "ExactResult",
     "solve_exact",
     "RoundingResult",

@@ -1,0 +1,139 @@
+"""Reference (executable-specification) multicover solvers.
+
+These are the *retained reference implementations* the vectorized kernels
+in :mod:`repro.coverage.greedy` are validated against.  They spell out
+Algorithm 1's selection rules exactly as the paper writes them — a
+per-step scan over every candidate item — with no incremental state
+beyond the residual-demand vector, so they are easy to audit but cost
+``O(N²K)`` per cover.
+
+The equivalence contract (enforced by
+``tests/test_coverage_greedy_vectorized.py`` and the benchmark harness)
+is *bit-for-bit*: on any :class:`~repro.coverage.problem.CoverProblem`,
+:func:`reference_greedy_cover` and
+:func:`~repro.coverage.greedy.greedy_cover` return identical
+``selection`` *and* ``order``, and likewise for the static-order pair.
+To make that contract hold exactly (not just up to ties), both sides
+compute the same floating-point quantities in the same associativity:
+
+* truncated scores are ``np.minimum(gains_row, residual)`` summed with
+  NumPy's pairwise row reduction;
+* residual updates subtract the truncated row and then snap any residual
+  at or below ``_TOL`` to exactly ``0.0``;
+* ties are broken by the shared rule: the *lowest-index* item whose
+  score is within ``_TOL`` of the step's maximum (see
+  :mod:`repro.coverage.greedy` for the rationale).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.coverage.greedy import _TOL, GreedyResult
+from repro.coverage.problem import CoverProblem
+from repro.exceptions import InfeasibleError
+
+__all__ = ["reference_greedy_cover", "reference_static_order_cover"]
+
+
+def reference_greedy_cover(problem: CoverProblem) -> GreedyResult:
+    """Textbook truncated-gain greedy: full per-step scan over all items.
+
+    Semantics (the executable spec of Algorithm 1, lines 8–13):
+
+    1. Demands at or below ``_TOL`` count as satisfied and are snapped to
+       exactly ``0.0``.
+    2. Each step scores every unselected item ``i`` as
+       ``Σ_j min(Q'_j, q_ij)`` against the current residual ``Q'``.
+    3. The winner is the lowest-index item whose score lies within
+       ``_TOL`` of the step's maximum score.
+    4. The winner's truncated gains are subtracted from the residual and
+       newly satisfied demands snap to ``0.0``; stop when all demands are
+       satisfied.
+
+    Raises
+    ------
+    InfeasibleError
+        When demands remain positive but no remaining item contributes
+        more than ``_TOL``.
+    """
+    gains = problem.gains
+    n_items = problem.n_items
+    residual = problem.demands.copy()
+    residual[residual <= _TOL] = 0.0
+    if not np.any(residual > 0.0):
+        return GreedyResult(selection=np.array([], dtype=int), order=())
+
+    selected = np.zeros(n_items, dtype=bool)
+    order: list[int] = []
+    while np.any(residual > 0.0):
+        best = -1
+        best_score = -np.inf
+        scores = np.full(n_items, -np.inf)
+        for item in range(n_items):
+            if selected[item]:
+                continue
+            scores[item] = np.minimum(gains[item], residual).sum()
+        if n_items:
+            best_score = scores.max()
+        if best_score <= _TOL:
+            raise InfeasibleError(
+                "greedy cover exhausted all useful items with "
+                f"{int(np.count_nonzero(residual > 0.0))} demands still unmet"
+            )
+        for item in range(n_items):
+            if scores[item] >= best_score - _TOL:
+                best = item
+                break
+        order.append(best)
+        selected[best] = True
+        residual -= np.minimum(gains[best], residual)
+        residual[residual <= _TOL] = 0.0
+
+    return GreedyResult(selection=np.array(sorted(order), dtype=int), order=tuple(order))
+
+
+def reference_static_order_cover(
+    problem: CoverProblem, order: Sequence[int] | None = None
+) -> GreedyResult:
+    """Textbook fixed-order cover: accumulate coverage item by item.
+
+    Items are taken in ``order`` (default: descending static gain
+    ``Σ_j q_ij``, index-ascending ties) until every demand ``Q_j`` is met
+    by the running coverage sum within ``_TOL``, i.e.
+    ``coverage_j ≥ Q_j − _TOL``.  Demands at or below ``_TOL`` count as
+    satisfied from the start.
+
+    Raises
+    ------
+    InfeasibleError
+        If the full order is exhausted with demands still unmet.
+    """
+    if order is None:
+        static_gain = problem.gains.sum(axis=1)
+        order = np.argsort(-static_gain, kind="stable")
+    order_arr = np.asarray(order, dtype=int)
+
+    demands = problem.demands
+    need = demands > _TOL
+    if not np.any(need):
+        return GreedyResult(selection=np.array([], dtype=int), order=())
+
+    target = demands[need] - _TOL
+    coverage = np.zeros(int(np.count_nonzero(need)))
+    taken: list[int] = []
+    satisfied = False
+    for item in order_arr:
+        if np.all(coverage >= target):
+            satisfied = True
+            break
+        item = int(item)
+        taken.append(item)
+        coverage = coverage + problem.gains[item, need]
+    if not satisfied and not np.all(coverage >= target):
+        raise InfeasibleError(
+            "static-order cover exhausted the order with demands still unmet"
+        )
+    return GreedyResult(selection=np.array(sorted(taken), dtype=int), order=tuple(taken))

@@ -29,9 +29,9 @@ time; the defaults match the paper's Table I scales.
 | budget_schedule | campaign schedules under a total ε budget | :mod:`~repro.experiments.budget_schedule` |
 """
 
-from repro.experiments.runner import ExperimentResult, payment_sweep_point
+from repro.experiments.runner import ExperimentResult, payment_sweep, payment_sweep_point
 
-__all__ = ["ExperimentResult", "payment_sweep_point", "EXPERIMENTS"]
+__all__ = ["ExperimentResult", "payment_sweep_point", "payment_sweep", "EXPERIMENTS"]
 
 #: Registry mapping CLI names to experiment modules (filled lazily by
 #: :func:`repro.cli.main` to avoid importing every experiment eagerly).

@@ -12,17 +12,20 @@ and standard deviation of the platform's total payment.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping, Sequence, Union
+
+import numpy as np
 
 from repro.analysis.payment import PaymentStats, sampled_payment_stats
 from repro.auction.mechanism import Mechanism
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, ensure_rng, spawn_seed_sequences
 from repro.utils.tables import render_table
 from repro.workloads.generator import generate_instance
 from repro.workloads.settings import SimulationSetting
 
-__all__ = ["ExperimentResult", "payment_sweep_point"]
+__all__ = ["ExperimentResult", "payment_sweep_point", "payment_sweep"]
 
 
 @dataclass(frozen=True)
@@ -111,3 +114,67 @@ def payment_sweep_point(
         pmf = mechanism.price_pmf(instance)
         results[name] = sampled_payment_stats(pmf, n_price_samples, seed=sample_rng)
     return results
+
+
+def _sweep_point_task(args) -> dict[str, PaymentStats]:
+    """Unpack-and-run helper; module-level so it pickles for a pool."""
+    setting, mechanisms, n_workers, n_tasks, n_price_samples, child_seed = args
+    return payment_sweep_point(
+        setting,
+        mechanisms,
+        n_workers=n_workers,
+        n_tasks=n_tasks,
+        n_price_samples=n_price_samples,
+        seed=np.random.default_rng(child_seed),
+    )
+
+
+def payment_sweep(
+    setting: SimulationSetting,
+    mechanisms: Mapping[str, Mechanism],
+    points: Sequence[tuple[int | None, int | None]],
+    *,
+    n_price_samples: int = 10_000,
+    seed: Union[RngLike, np.random.SeedSequence] = None,
+    max_workers: int | None = None,
+) -> list[dict[str, PaymentStats]]:
+    """Evaluate a whole Figure 1–4 sweep, optionally on a process pool.
+
+    Each sweep point gets child ``i`` of the master ``seed`` via
+    :func:`repro.utils.rng.spawn_seed_sequences`, so the parallel and
+    serial paths return *identical* statistics — parallelism only buys
+    wall-clock time, never changes numbers.
+
+    Parameters
+    ----------
+    setting:
+        The Table I setting generating every point's instance.
+    mechanisms:
+        Mechanisms to evaluate, keyed by display name (must be picklable
+        when ``max_workers`` enables the pool; all library mechanisms
+        are).
+    points:
+        ``(n_workers, n_tasks)`` overrides per sweep point (``None``
+        falls back to the setting's population).
+    n_price_samples:
+        Price draws per mechanism per point.
+    seed:
+        Master seed (``None``, ``int``, or ``SeedSequence``).
+    max_workers:
+        ``None`` or ``1`` runs serially in-process; larger values fan the
+        points out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Returns
+    -------
+    list of dict
+        Per point, ``{mechanism name: PaymentStats}`` in input order.
+    """
+    children = spawn_seed_sequences(seed, len(points))
+    tasks = [
+        (setting, dict(mechanisms), n_workers, n_tasks, n_price_samples, child)
+        for (n_workers, n_tasks), child in zip(points, children)
+    ]
+    if max_workers is None or max_workers <= 1:
+        return [_sweep_point_task(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_sweep_point_task, tasks))

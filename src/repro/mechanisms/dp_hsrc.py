@@ -29,11 +29,14 @@ one outcome from it.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.auction.instance import AuctionInstance
 from repro.auction.mechanism import Mechanism, PricePMF
-from repro.coverage.greedy import greedy_cover
+from repro.coverage.greedy import GreedyResult, greedy_cover
+from repro.coverage.problem import CoverProblem
 from repro.mechanisms.price_set import feasible_price_set, group_prices_by_candidates
 from repro.privacy.exponential import ExponentialMechanism
 from repro.utils import validation
@@ -50,6 +53,15 @@ class DPHSRCAuction(Mechanism):
         Privacy budget ε > 0.  Smaller values give stronger bid privacy
         and a flatter price distribution (hence a larger expected total
         payment) — the Figure 5 trade-off.
+    cover_solver:
+        The winner-set kernel mapping a
+        :class:`~repro.coverage.problem.CoverProblem` to a
+        :class:`~repro.coverage.greedy.GreedyResult`.  Defaults to the
+        vectorized :func:`~repro.coverage.greedy.greedy_cover`; the
+        benchmark harness injects
+        :func:`~repro.coverage.reference.reference_greedy_cover` here to
+        measure the kernel speedup end-to-end.  Must be a module-level
+        callable for the mechanism to stay picklable.
 
     Examples
     --------
@@ -70,9 +82,15 @@ class DPHSRCAuction(Mechanism):
 
     name = "dp-hsrc"
 
-    def __init__(self, epsilon: float) -> None:
+    def __init__(
+        self,
+        epsilon: float,
+        *,
+        cover_solver: Callable[[CoverProblem], GreedyResult] = greedy_cover,
+    ) -> None:
         validation.require_positive(epsilon, "epsilon")
         self.epsilon = float(epsilon)
+        self.cover_solver = cover_solver
 
     def price_pmf(self, instance: AuctionInstance) -> PricePMF:
         """Exact (price, winner-set) distribution for ``instance``.
@@ -86,7 +104,7 @@ class DPHSRCAuction(Mechanism):
         winner_sets: list[np.ndarray] = [None] * prices.size  # type: ignore[list-item]
 
         for group in group_prices_by_candidates(instance, prices):
-            local = greedy_cover(group.problem).selection
+            local = self.cover_solver(group.problem).selection
             winners = group.candidates[local]
             for k in group.price_indices:
                 winner_sets[int(k)] = winners

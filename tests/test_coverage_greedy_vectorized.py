@@ -1,0 +1,174 @@
+"""Equivalence suite: vectorized kernels vs the retained references.
+
+The vectorized :func:`repro.coverage.greedy.greedy_cover` and
+:func:`~repro.coverage.greedy.static_order_cover` promise *bit-for-bit*
+agreement with the executable-spec implementations in
+:mod:`repro.coverage.reference` — identical ``selection`` **and**
+``order``, not just equal cover sizes.  This file enforces that promise
+on hundreds of seeded random instances, checks the Lemma 2 bound against
+certified-optimal covers on small instances, and pins the documented
+tie-breaking rule with adversarially near-equal gains.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coverage.bounds import greedy_approximation_factor
+from repro.coverage.exact import solve_exact
+from repro.coverage.greedy import _TOL, greedy_cover, static_order_cover
+from repro.coverage.problem import CoverProblem
+from repro.coverage.reference import (
+    reference_greedy_cover,
+    reference_static_order_cover,
+)
+from repro.exceptions import InfeasibleError
+
+N_EQUIVALENCE_SEEDS = 220
+
+
+def random_problem(seed: int) -> CoverProblem:
+    """A seeded random multicover instance with varied shape and sparsity.
+
+    Every seventh seed zeroes one demand (exercising the satisfied-from-
+    the-start path); every eleventh uses dense gains.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 45))
+    k = int(rng.integers(1, 9))
+    gains = rng.uniform(0.0, 1.0, (n, k))
+    if seed % 11 != 0:
+        gains[rng.random((n, k)) < 0.4] = 0.0
+    demands = gains.sum(axis=0) * float(rng.uniform(0.1, 0.9))
+    if seed % 7 == 0 and k > 1:
+        demands[int(rng.integers(k))] = 0.0
+    return CoverProblem(gains=gains, demands=demands)
+
+
+class TestGreedyEquivalence:
+    @pytest.mark.parametrize("seed", range(N_EQUIVALENCE_SEEDS))
+    def test_selection_and_order_identical(self, seed):
+        problem = random_problem(seed)
+        vectorized = greedy_cover(problem)
+        reference = reference_greedy_cover(problem)
+        assert vectorized.order == reference.order
+        assert vectorized.selection.tolist() == reference.selection.tolist()
+        assert problem.is_feasible(vectorized.selection)
+
+    @pytest.mark.parametrize("seed", range(0, 40))
+    def test_static_order_identical(self, seed):
+        problem = random_problem(seed)
+        vectorized = static_order_cover(problem)
+        reference = reference_static_order_cover(problem)
+        assert vectorized.order == reference.order
+        assert vectorized.selection.tolist() == reference.selection.tolist()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_static_explicit_order_identical(self, seed):
+        problem = random_problem(seed)
+        rng = np.random.default_rng(1000 + seed)
+        order = rng.permutation(problem.n_items)
+        vectorized = static_order_cover(problem, order=order)
+        reference = reference_static_order_cover(problem, order=order)
+        assert vectorized.order == reference.order
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_both_raise_on_infeasible(self, seed):
+        rng = np.random.default_rng(seed)
+        gains = rng.uniform(0, 0.5, (4, 3))
+        demands = gains.sum(axis=0) + 1.0  # strictly uncoverable
+        problem = CoverProblem(gains=gains, demands=demands)
+        with pytest.raises(InfeasibleError):
+            greedy_cover(problem)
+        with pytest.raises(InfeasibleError):
+            reference_greedy_cover(problem)
+        with pytest.raises(InfeasibleError):
+            static_order_cover(problem)
+        with pytest.raises(InfeasibleError):
+            reference_static_order_cover(problem)
+
+    def test_zero_demand_both_empty(self):
+        problem = CoverProblem(gains=np.ones((3, 2)), demands=np.zeros(2))
+        assert greedy_cover(problem).size == 0
+        assert reference_greedy_cover(problem).size == 0
+        assert static_order_cover(problem).size == 0
+        assert reference_static_order_cover(problem).size == 0
+
+    def test_no_items_infeasible(self):
+        problem = CoverProblem(
+            gains=np.zeros((0, 2)), demands=np.array([1.0, 1.0])
+        )
+        with pytest.raises(InfeasibleError):
+            greedy_cover(problem)
+        with pytest.raises(InfeasibleError):
+            reference_greedy_cover(problem)
+
+
+class TestApproximationBound:
+    """Greedy covers stay within Lemma 2's ``2βH_m`` factor of optimal."""
+
+    #: Gain/demand measurement granularity of the random instances below;
+    #: matches the two-decimal quality recording the paper assumes.
+    UNIT = 0.01
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_greedy_within_lemma2_of_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 12))
+        k = int(rng.integers(1, 4))
+        gains = np.round(rng.uniform(0, 1, (n, k)), 2)
+        demands = np.round(gains.sum(axis=0) * float(rng.uniform(0.2, 0.7)), 2)
+        problem = CoverProblem(gains=gains, demands=demands)
+        if not problem.is_coverable():
+            pytest.skip("rounding made the draw uncoverable")
+        greedy = greedy_cover(problem)
+        exact = solve_exact(problem)
+        assert exact.certified
+        factor = greedy_approximation_factor(problem, self.UNIT)
+        assert greedy.size <= factor * max(exact.size, 1) + 1e-9
+        assert greedy.size >= exact.size  # greedy can never beat optimal
+
+
+class TestTieBreaking:
+    """The documented rule: lowest index within ``_TOL`` of the max gain."""
+
+    def test_exact_duplicate_rows_pick_lowest_index(self):
+        row = np.array([0.4, 0.3, 0.2])
+        gains = np.vstack([row, row, row, row])
+        problem = CoverProblem(gains=gains, demands=np.array([0.5, 0.5, 0.3]))
+        for solver in (greedy_cover, reference_greedy_cover):
+            result = solver(problem)
+            assert result.order[0] == 0
+            assert list(result.order) == sorted(result.order)
+
+    def test_adversarial_near_equal_gains_pick_lowest_index(self):
+        # Item 2's gain exceeds item 0's by 1e-12 — far below _TOL, so the
+        # two count as tied and the lower index must win in both kernels.
+        base = np.array([0.25, 0.25, 0.25, 0.25])
+        gains = np.vstack([base, base * 0.5, base + 2.5e-13])
+        assert float((gains[2] - gains[0]).sum()) < _TOL
+        problem = CoverProblem(gains=gains, demands=np.full(4, 0.3))
+        for solver in (greedy_cover, reference_greedy_cover):
+            assert solver(problem).order[0] == 0
+
+    def test_gap_beyond_tolerance_is_not_a_tie(self):
+        # Item 2 beats item 0 by 4e-9 total — outside the _TOL band — so
+        # the genuinely larger gain must win despite the higher index.
+        base = np.array([0.25, 0.25, 0.25, 0.25])
+        gains = np.vstack([base, base * 0.5, base + 1e-9])
+        assert float((gains[2] - gains[0]).sum()) > _TOL
+        problem = CoverProblem(gains=gains, demands=np.full(4, 0.3))
+        for solver in (greedy_cover, reference_greedy_cover):
+            assert solver(problem).order[0] == 2
+
+    def test_near_tie_stable_under_row_permutation_noise(self):
+        # Perturbing tied rows by +-1e-13 (three orders of magnitude
+        # below _TOL) must not change the selection order.
+        rng = np.random.default_rng(5)
+        row = rng.uniform(0.2, 0.6, 5)
+        gains = np.vstack([row, row, row])
+        problem = CoverProblem(gains=gains, demands=row * 2.5)
+        baseline = greedy_cover(problem).order
+        for trial in range(5):
+            noise = np.random.default_rng(trial).uniform(-1e-13, 1e-13, gains.shape)
+            noisy = CoverProblem(gains=np.clip(gains + noise, 0, None), demands=row * 2.5)
+            assert greedy_cover(noisy).order == baseline

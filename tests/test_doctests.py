@@ -10,6 +10,7 @@ import doctest
 import pytest
 
 import repro.aggregation.error_bounds
+import repro.bench.batch
 import repro.mechanisms.dp_hsrc
 import repro.utils.rng
 import repro.utils.tables
@@ -17,6 +18,7 @@ import repro.utils.timer
 
 MODULES = [
     repro.utils.rng,
+    repro.bench.batch,
     repro.utils.timer,
     repro.utils.tables,
     repro.mechanisms.dp_hsrc,
