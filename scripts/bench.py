@@ -16,15 +16,26 @@ Usage::
     PYTHONPATH=src python scripts/bench.py            # full pinned suite
     PYTHONPATH=src python scripts/bench.py --smoke    # CI-sized, seconds
     PYTHONPATH=src python scripts/bench.py --out-dir /tmp/bench
+    PYTHONPATH=src python scripts/bench.py --smoke --trace bench-trace.jsonl
 
 Every entry carries the workload's shape and seed; timings are
 ``best-of-repeats`` wall-clock seconds.  Correctness is asserted inline
-(vectorized == reference selections, batched == serial outcomes) so a
-benchmark run doubles as an integration check.
+(vectorized == reference selections, batched == serial outcomes, and —
+since schema ``repro-bench/2`` — instrumented == uninstrumented PMFs) so
+a benchmark run doubles as an integration check.
+
+Schema ``repro-bench/2`` additionally embeds per-phase observability
+metrics (see :mod:`repro.obs`): each timed entry carries a ``metrics``
+object with span seconds per phase, counters, and the ledger's composed
+ε from one instrumented pass run *outside* the timing loop, so the
+headline timings remain recorder-free.  ``--trace PATH`` writes the
+merged JSON-lines trace of those instrumented passes.
 
 Reading a regression: compare ``seconds`` fields of the same ``name`` +
 shape across commits (timings move with hardware; the ``speedup`` ratios
 are the hardware-independent signal — see docs/USAGE.md §Performance).
+The ``metrics.span_seconds`` breakdown localizes a regression to a phase
+(price-set construction vs greedy covers vs exponential mechanism).
 """
 
 from __future__ import annotations
@@ -49,8 +60,9 @@ from repro.coverage.reference import (  # noqa: E402
     reference_static_order_cover,
 )
 from repro.mechanisms.dp_hsrc import DPHSRCAuction  # noqa: E402
+from repro.obs import MetricsRecorder, use_recorder  # noqa: E402
 
-SCHEMA = "repro-bench/1"
+SCHEMA = "repro-bench/2"
 
 #: Pinned greedy-kernel workloads: (n_items, n_constraints).
 FULL_GREEDY_SHAPES = [(500, 30), (1000, 50), (2000, 50)]
@@ -71,7 +83,18 @@ def best_of(fn, repeats: int) -> tuple[float, object]:
     return best, value
 
 
-def bench_greedy(shapes, repeats: int, ref_repeats: int) -> list[dict]:
+def recorder_metrics(recorder: MetricsRecorder) -> dict:
+    """The per-phase ``metrics`` object embedded in every v2 bench entry."""
+    return {
+        "span_seconds": recorder.span_seconds_by_kind(),
+        "span_counts": recorder.span_counts_by_kind(),
+        "counters": dict(sorted(recorder.counters.items())),
+        "ledger_epsilon": recorder.ledger.total_epsilon,
+        "ledger_entries": len(recorder.ledger.entries),
+    }
+
+
+def bench_greedy(shapes, repeats: int, ref_repeats: int, trace: MetricsRecorder) -> list[dict]:
     """Vectorized vs reference kernels on every pinned shape."""
     results = []
     for n_items, n_constraints in shapes:
@@ -86,6 +109,25 @@ def bench_greedy(shapes, repeats: int, ref_repeats: int) -> list[dict]:
                 raise AssertionError(
                     f"{name} vectorized/reference divergence at N={n_items}, K={n_constraints}"
                 )
+            # One instrumented pass outside the timing loop: counters for
+            # the v2 metrics block, plus the outcome-invariance check.
+            # The bench wraps the bare kernel in its own span — standalone
+            # cover calls have no price_pmf caller to time them.
+            recorder = MetricsRecorder()
+            with use_recorder(recorder):
+                with recorder.span(
+                    "greedy_group",
+                    f"bench.{name}",
+                    n_items=n_items,
+                    n_constraints=n_constraints,
+                ):
+                    instrumented = fast(problem)
+            if instrumented.order != vec.order:
+                raise AssertionError(
+                    f"{name} instrumented/uninstrumented divergence at "
+                    f"N={n_items}, K={n_constraints}"
+                )
+            trace.merge(recorder)
             results.append(
                 {
                     "name": name,
@@ -98,6 +140,7 @@ def bench_greedy(shapes, repeats: int, ref_repeats: int) -> list[dict]:
                     "reference_seconds": ref_s,
                     "speedup": ref_s / vec_s if vec_s > 0 else float("inf"),
                     "match": True,
+                    "metrics": recorder_metrics(recorder),
                 }
             )
             print(
@@ -108,7 +151,7 @@ def bench_greedy(shapes, repeats: int, ref_repeats: int) -> list[dict]:
     return results
 
 
-def bench_price_pmf(smoke: bool, repeats: int) -> list[dict]:
+def bench_price_pmf(smoke: bool, repeats: int, trace: MetricsRecorder) -> list[dict]:
     """Full Algorithm 1 winner-set stage, vectorized and reference kernels."""
     results = []
     configs = [(60, 10)] if smoke else [(200, 20), (500, 30)]
@@ -128,6 +171,21 @@ def bench_price_pmf(smoke: bool, repeats: int) -> list[dict]:
         )
         if not match:
             raise AssertionError("price_pmf winner sets diverged between kernels")
+        # Instrumented pass outside the timing loop: the per-phase
+        # breakdown for the v2 metrics block.  The PMF must stay
+        # bit-identical to the recorder-free run (outcome invariance).
+        recorder = MetricsRecorder()
+        with use_recorder(recorder):
+            obs_pmf = vec_mech.price_pmf(instance)
+        if not (
+            np.array_equal(obs_pmf.probabilities, vec_pmf.probabilities)
+            and all(
+                np.array_equal(a, b)
+                for a, b in zip(obs_pmf.winner_sets, vec_pmf.winner_sets)
+            )
+        ):
+            raise AssertionError("price_pmf diverged with a recorder installed")
+        trace.merge(recorder)
         results.append(
             {
                 "name": "price_pmf",
@@ -141,6 +199,7 @@ def bench_price_pmf(smoke: bool, repeats: int) -> list[dict]:
                 "reference_seconds": ref_s,
                 "speedup": ref_s / vec_s if vec_s > 0 else float("inf"),
                 "match": True,
+                "metrics": recorder_metrics(recorder),
             }
         )
         print(
@@ -151,8 +210,14 @@ def bench_price_pmf(smoke: bool, repeats: int) -> list[dict]:
     return results
 
 
-def bench_batch_runner(smoke: bool) -> list[dict]:
-    """Serial vs process-pool batch execution; asserts identical outcomes."""
+def bench_batch_runner(smoke: bool, trace: MetricsRecorder) -> list[dict]:
+    """Serial vs process-pool batch execution; asserts identical outcomes.
+
+    The timed runs stay recorder-free; an instrumented serial pass and an
+    instrumented 2-worker pooled pass then assert that (a) outcomes match
+    the recorder-free run bit-for-bit and (b) the deterministically merged
+    counters are identical across backends.
+    """
     n_instances = 8 if smoke else 32
     n_workers = 40 if smoke else 80
     batch = seeded_auction_batch(
@@ -160,6 +225,24 @@ def bench_batch_runner(smoke: bool) -> list[dict]:
     )
     mechanism = DPHSRCAuction(epsilon=BENCH_SETTING.epsilon)
     serial = BatchAuctionRunner(mechanism, backend="serial").run(batch, seed=MASTER_RUN_SEED)
+
+    serial_rec = MetricsRecorder()
+    instrumented = BatchAuctionRunner(mechanism, backend="serial").run(
+        batch, seed=MASTER_RUN_SEED, recorder=serial_rec
+    )
+    if not all(
+        a.price == b.price and np.array_equal(a.winners, b.winners)
+        for a, b in zip(serial.outcomes, instrumented.outcomes)
+    ):
+        raise AssertionError("batch outcomes diverged with a recorder installed")
+    pooled_rec = MetricsRecorder()
+    BatchAuctionRunner(mechanism, backend="process", max_workers=2).run(
+        batch, seed=MASTER_RUN_SEED, recorder=pooled_rec
+    )
+    if serial_rec.counters != pooled_rec.counters:
+        raise AssertionError("merged batch counters diverged between backends")
+    trace.merge(serial_rec)
+
     results = [
         {
             "name": "batch_runner",
@@ -171,6 +254,7 @@ def bench_batch_runner(smoke: bool) -> list[dict]:
             "seconds": serial.wall_time,
             "mean_winners": float(np.mean([o.n_winners for o in serial.outcomes])),
             "identical_to_serial": True,
+            "metrics": recorder_metrics(serial_rec),
         }
     ]
     print(
@@ -200,6 +284,8 @@ def bench_batch_runner(smoke: bool) -> list[dict]:
                 "seconds": pooled.wall_time,
                 "mean_winners": float(np.mean([o.n_winners for o in pooled.outcomes])),
                 "identical_to_serial": True,
+                "metrics": recorder_metrics(pooled_rec),
+                "metrics_identical_to_serial": True,
             }
         )
         print(
@@ -233,13 +319,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=3, help="timing repeats (best-of)"
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the merged JSON-lines trace of the instrumented passes",
+    )
     args = parser.parse_args(argv)
     args.out_dir.mkdir(parents=True, exist_ok=True)
+    trace = MetricsRecorder()
 
     shapes = SMOKE_GREEDY_SHAPES if args.smoke else FULL_GREEDY_SHAPES
     print("greedy kernels:")
     greedy_results = bench_greedy(
-        shapes, repeats=args.repeats, ref_repeats=1 if not args.smoke else args.repeats
+        shapes,
+        repeats=args.repeats,
+        ref_repeats=1 if not args.smoke else args.repeats,
+        trace=trace,
     )
     greedy_doc = {
         "schema": SCHEMA,
@@ -257,12 +354,19 @@ def main(argv: list[str] | None = None) -> int:
         "suite": "auction",
         "smoke": args.smoke,
         "environment": environment(),
-        "results": bench_price_pmf(args.smoke, args.repeats) + bench_batch_runner(args.smoke),
+        "results": bench_price_pmf(args.smoke, args.repeats, trace)
+        + bench_batch_runner(args.smoke, trace),
     }
     auction_path = args.out_dir / "BENCH_auction.json"
     auction_path.write_text(json.dumps(auction_doc, indent=2) + "\n")
 
     print(f"wrote {greedy_path} and {auction_path}")
+    if args.trace is not None:
+        trace_path = trace.write_trace(
+            args.trace,
+            meta={"generator": "scripts/bench.py", "smoke": args.smoke},
+        )
+        print(f"wrote {trace_path}")
     return 0
 
 

@@ -26,6 +26,13 @@ See ``examples/`` for full walkthroughs and ``DESIGN.md`` for the system
 inventory.
 """
 
+import logging as _logging
+
+# Library logging convention: a NullHandler on the "repro" root logger so
+# importing the library never configures logging for the host application;
+# the CLI's --verbose flag (repro.cli) attaches a real handler on demand.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from repro.auction import AuctionInstance, AuctionOutcome, Bid, BidProfile, Mechanism, PricePMF
 from repro.bench import BatchAuctionRunner, BatchRunResult
 from repro.mechanisms import (
@@ -40,6 +47,13 @@ from repro.mechanisms import (
     truthfulness_gap,
 )
 from repro.mcs import MCSSimulation, Platform, TaskSet, WorkerPool, plan_campaign
+from repro.obs import (
+    MetricsRecorder,
+    NullRecorder,
+    PrivacyLedger,
+    current_recorder,
+    use_recorder,
+)
 from repro.privacy import (
     ExponentialMechanism,
     PrivacyAccountant,
@@ -87,6 +101,12 @@ __all__ = [
     "plan_campaign",
     "PermuteFlipHSRCAuction",
     "ThresholdPaymentAuction",
+    # observability
+    "MetricsRecorder",
+    "NullRecorder",
+    "PrivacyLedger",
+    "current_recorder",
+    "use_recorder",
     # privacy
     "ExponentialMechanism",
     "PrivacyAccountant",

@@ -194,8 +194,24 @@ class Mechanism(abc.ABC):
         """
 
     def run(self, instance: AuctionInstance, seed: RngLike = None) -> AuctionOutcome:
-        """Execute the mechanism once: compute the PMF, then sample it."""
-        return self.price_pmf(instance).sample_outcome(seed)
+        """Execute the mechanism once: compute the PMF, then sample it.
+
+        With an observability recorder installed (see :mod:`repro.obs`)
+        the final draw is timed under a ``sample`` span; the sampling
+        itself is untouched, so outcomes are identical with or without
+        a recorder.
+        """
+        from repro.obs import current_recorder
+
+        pmf = self.price_pmf(instance)
+        recorder = current_recorder()
+        with recorder.span(
+            "sample", f"{self.name}.sample", support_size=pmf.support_size
+        ) as span:
+            outcome = pmf.sample_outcome(seed)
+            span.set(price=float(outcome.price), n_winners=int(outcome.n_winners))
+        recorder.count("auction.runs")
+        return outcome
 
     def expected_total_payment(self, instance: AuctionInstance) -> float:
         """Convenience: exact expected total payment on ``instance``."""

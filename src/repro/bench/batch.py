@@ -17,13 +17,14 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.auction.instance import AuctionInstance
 from repro.auction.mechanism import Mechanism
 from repro.auction.outcome import AuctionOutcome
+from repro.obs import MetricsRecorder, Recorder, current_recorder, use_recorder
 from repro.utils.rng import RngLike, spawn_seed_sequences
 
 __all__ = ["BatchAuctionRunner", "BatchRunResult"]
@@ -33,15 +34,30 @@ _BACKENDS = ("auto", "serial", "process")
 
 
 def _run_one(
-    mechanism: Mechanism, instance: AuctionInstance, seed: np.random.SeedSequence
-) -> AuctionOutcome:
+    mechanism: Mechanism,
+    instance: AuctionInstance,
+    seed: np.random.SeedSequence,
+    collect_metrics: bool = False,
+) -> tuple[AuctionOutcome, Optional[dict]]:
     """Execute one instance with its dedicated seed sequence.
 
     Module-level so it pickles for the process pool; the generator is
     constructed inside the worker, making the draw independent of which
     process (or the parent, for the serial path) runs it.
+
+    When ``collect_metrics`` is set, the instance runs under a fresh
+    :class:`~repro.obs.MetricsRecorder` whose picklable snapshot is
+    returned alongside the outcome.  The serial path uses the *same*
+    fresh-recorder-per-instance protocol, so merged metrics are
+    identical across backends (merging happens in input order in
+    :meth:`BatchAuctionRunner.run`).
     """
-    return mechanism.run(instance, np.random.default_rng(seed))
+    if not collect_metrics:
+        return mechanism.run(instance, np.random.default_rng(seed)), None
+    local = MetricsRecorder()
+    with use_recorder(local):
+        outcome = mechanism.run(instance, np.random.default_rng(seed))
+    return outcome, local.snapshot()
 
 
 @dataclass(frozen=True)
@@ -150,6 +166,8 @@ class BatchAuctionRunner:
         self,
         instances: Sequence[AuctionInstance],
         seed: Union[RngLike, np.random.SeedSequence] = None,
+        *,
+        recorder: Recorder | None = None,
     ) -> BatchRunResult:
         """Execute every instance once and collect the outcomes.
 
@@ -163,28 +181,53 @@ class BatchAuctionRunner:
             Instance ``i`` always receives child ``i`` of the master, so
             two runs with the same master seed and batch are identical
             outcome-for-outcome on *any* backend and worker count.
+        recorder:
+            Observability sink; defaults to the ambient
+            :func:`repro.obs.current_recorder`.  When it is a recording
+            one (``enabled``), every instance runs under its own fresh
+            :class:`~repro.obs.MetricsRecorder` — on the serial path just
+            as in the pool workers — and the per-instance snapshots are
+            merged into ``recorder`` in input order, so merged counters,
+            histograms, and ledger entries are *identical* across
+            backends and worker counts.  Outcomes are never affected.
         """
         instances = list(instances)
         seeds = spawn_seed_sequences(seed, len(instances))
         backend, workers = self._resolve(len(instances))
+        sink = current_recorder() if recorder is None else recorder
+        collect = isinstance(sink, MetricsRecorder)
         start = time.perf_counter()
-        if backend == "serial":
-            outcomes = [
-                _run_one(self.mechanism, instance, child)
-                for instance, child in zip(instances, seeds)
-            ]
-        else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(
-                    pool.map(
-                        _run_one,
-                        [self.mechanism] * len(instances),
-                        instances,
-                        seeds,
-                        chunksize=max(1, len(instances) // (4 * workers) or 1),
+        with sink.span(
+            "batch",
+            f"batch.{self.mechanism.name}",
+            backend=backend,
+            max_workers=workers,
+            n_instances=len(instances),
+        ):
+            if backend == "serial":
+                pairs = [
+                    _run_one(self.mechanism, instance, child, collect)
+                    for instance, child in zip(instances, seeds)
+                ]
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    pairs = list(
+                        pool.map(
+                            _run_one,
+                            [self.mechanism] * len(instances),
+                            instances,
+                            seeds,
+                            [collect] * len(instances),
+                            chunksize=max(1, len(instances) // (4 * workers) or 1),
+                        )
                     )
-                )
         wall = time.perf_counter() - start
+        outcomes = [outcome for outcome, _ in pairs]
+        if collect:
+            for _, snapshot in pairs:
+                if snapshot is not None:
+                    sink.merge_snapshot(snapshot)
+            sink.count("batch.instances", len(instances))
         return BatchRunResult(
             outcomes=tuple(outcomes),
             backend=backend,

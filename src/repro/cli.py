@@ -9,18 +9,58 @@ Usage::
 
 Each experiment prints the numeric series the corresponding paper
 artifact plots; EXPERIMENTS.md records a reference run.
+
+Observability (see docs/OBSERVABILITY.md)::
+
+    python -m repro figure5 --fast --trace trace.jsonl   # JSON-lines trace
+    python -m repro figure5 --fast --metrics             # ASCII summary
+    python -m repro figure5 --fast -vv                   # debug logging
+
+``--trace``/``--metrics`` install a :class:`repro.obs.MetricsRecorder`
+around the experiment runs; instrumentation is outcome-invariant, so the
+printed series are bit-identical with and without it.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import logging
 import sys
 from typing import Sequence
 
 from repro.experiments import EXPERIMENTS
 
-__all__ = ["main", "run_experiment"]
+__all__ = ["main", "run_experiment", "configure_logging"]
+
+
+def configure_logging(verbosity: int) -> None:
+    """Attach a stderr handler to the ``repro`` root logger.
+
+    ``verbosity`` counts ``-v`` flags: 0 leaves the library's default
+    :class:`logging.NullHandler` alone, 1 enables INFO, 2+ enables DEBUG
+    (which includes recorder flush/merge messages from ``repro.obs``).
+    Idempotent: repeated calls reconfigure the level instead of stacking
+    handlers.
+    """
+    if verbosity <= 0:
+        return
+    logger = logging.getLogger("repro")
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    for handler in logger.handlers:
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            handler.setLevel(level)
+            break
+    else:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setLevel(level)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)
 
 
 def run_experiment(name: str, *, fast: bool = False, seed: int = 0):
@@ -68,12 +108,31 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append an ASCII chart after each chartable result (table format only)",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log to stderr (-v: INFO, -vv: DEBUG, incl. recorder flushes)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record per-phase spans/metrics and write a JSON-lines trace there",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the ASCII metrics/ledger summary after the experiments",
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    configure_logging(args.verbose)
 
     if args.experiment == "list":
         for name in EXPERIMENTS:
@@ -92,28 +151,48 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("error: --output requires a single experiment", file=sys.stderr)
         return 2
     from repro.experiments.export import render
+    from repro.obs import NULL_RECORDER, MetricsRecorder, use_recorder
 
+    recorder = (
+        MetricsRecorder() if (args.trace is not None or args.metrics) else NULL_RECORDER
+    )
     try:
-        for name in names:
-            result = run_experiment(name, fast=args.fast, seed=args.seed)
-            text = render(result, args.format)
-            if args.plot and args.format == "table":
-                from repro.experiments.export import plot
+        with use_recorder(recorder):
+            for name in names:
+                with recorder.span("experiment", name, fast=args.fast, seed=args.seed):
+                    result = run_experiment(name, fast=args.fast, seed=args.seed)
+                text = render(result, args.format)
+                if args.plot and args.format == "table":
+                    from repro.experiments.export import plot
 
-                chart = plot(result)
-                if chart is not None:
-                    text += "\n\n" + chart
-            if args.output is not None:
-                from pathlib import Path
+                    chart = plot(result)
+                    if chart is not None:
+                        text += "\n\n" + chart
+                if args.output is not None:
+                    from pathlib import Path
 
-                Path(args.output).write_text(text + "\n", encoding="utf-8")
-                print(f"wrote {args.output}")
-            else:
-                print(text)
-                print()
+                    Path(args.output).write_text(text + "\n", encoding="utf-8")
+                    print(f"wrote {args.output}")
+                else:
+                    print(text)
+                    print()
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.metrics:
+        print(recorder.report())
+        print()
+    if args.trace is not None:
+        path = recorder.write_trace(
+            args.trace,
+            meta={
+                "generator": "repro-cli",
+                "experiments": names,
+                "fast": args.fast,
+                "seed": args.seed,
+            },
+        )
+        print(f"wrote {path}")
     return 0
 
 

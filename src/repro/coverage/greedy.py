@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.coverage.problem import CoverProblem
 from repro.exceptions import InfeasibleError
+from repro.obs import current_recorder
 
 __all__ = ["GreedyResult", "greedy_cover", "static_order_cover"]
 
@@ -98,10 +99,12 @@ def greedy_cover(problem: CoverProblem) -> GreedyResult:
     :func:`repro.coverage.reference.reference_greedy_cover` bit-for-bit,
     which the equivalence suite asserts on hundreds of seeded instances.
     """
+    recorder = current_recorder()
     gains = problem.gains
     n_items = problem.n_items
     residual = problem.demands.copy()
     residual[residual <= _TOL] = 0.0
+    recorder.count("greedy.calls")
     if not np.any(residual > 0.0):
         return GreedyResult(selection=np.array([], dtype=int), order=())
 
@@ -118,19 +121,26 @@ def greedy_cover(problem: CoverProblem) -> GreedyResult:
     truncated = np.minimum(gains, residual[np.newaxis, :])
     available = np.ones(n_items, dtype=bool)
     order: list[int] = []
+    candidates_scanned = 0
     while True:
         scores = truncated.sum(axis=1)
         scores[~available] = -np.inf
         best_score = scores.max()
         if best_score <= _TOL:
+            recorder.count("greedy.iterations", len(order))
+            recorder.count("greedy.candidates_scanned", candidates_scanned)
             raise infeasible()
         best = int(np.argmax(scores >= best_score - _TOL))
+        # Every still-available item's score was recomputed this step.
+        candidates_scanned += n_items - len(order)
         order.append(best)
         available[best] = False
 
         step = truncated[best].copy()
         residual -= step
         residual[residual <= _TOL] = 0.0
+        if recorder.enabled:
+            recorder.observe("greedy.residual_demand", float(residual.sum()))
         if not np.any(residual > 0.0):
             break
         # A residual changed exactly where the winner contributed; only
@@ -138,6 +148,8 @@ def greedy_cover(problem: CoverProblem) -> GreedyResult:
         changed = step > 0.0
         truncated[:, changed] = np.minimum(gains[:, changed], residual[changed])
 
+    recorder.count("greedy.iterations", len(order))
+    recorder.count("greedy.candidates_scanned", candidates_scanned)
     return GreedyResult(selection=np.array(sorted(order), dtype=int), order=tuple(order))
 
 

@@ -15,6 +15,7 @@ __all__ = [
     "EmptyPriceSetError",
     "SolverError",
     "ConvergenceError",
+    "BudgetExceededError",
 ]
 
 
@@ -49,3 +50,12 @@ class SolverError(ReproError):
 
 class ConvergenceError(ReproError):
     """An iterative estimation procedure failed to converge."""
+
+
+class BudgetExceededError(ReproError):
+    """A privacy-budget ledger's composed ε exceeded its configured budget.
+
+    Raised by :class:`repro.obs.PrivacyLedger` when recording a draw (or
+    asserting after the fact) shows the pure-DP composition of all
+    recorded expenditures past the configured total budget.
+    """

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.analysis.payment import PaymentStats, sampled_payment_stats
 from repro.auction.mechanism import Mechanism
+from repro.obs import MetricsRecorder, Recorder, current_recorder, use_recorder
 from repro.utils.rng import RngLike, ensure_rng, spawn_seed_sequences
 from repro.utils.tables import render_table
 from repro.workloads.generator import generate_instance
@@ -106,27 +107,50 @@ def payment_sweep_point(
     """
     rng = ensure_rng(seed)
     instance_rng, sample_rng = rng.spawn(2)
-    instance, _pool = generate_instance(
-        setting, instance_rng, n_workers=n_workers, n_tasks=n_tasks
-    )
-    results: dict[str, PaymentStats] = {}
-    for name, mechanism in mechanisms.items():
-        pmf = mechanism.price_pmf(instance)
-        results[name] = sampled_payment_stats(pmf, n_price_samples, seed=sample_rng)
+    recorder = current_recorder()
+    with recorder.span(
+        "sweep_point",
+        "payment_sweep_point",
+        n_workers=-1 if n_workers is None else int(n_workers),
+        n_tasks=-1 if n_tasks is None else int(n_tasks),
+        n_mechanisms=len(mechanisms),
+    ):
+        instance, _pool = generate_instance(
+            setting, instance_rng, n_workers=n_workers, n_tasks=n_tasks
+        )
+        results: dict[str, PaymentStats] = {}
+        for name, mechanism in mechanisms.items():
+            pmf = mechanism.price_pmf(instance)
+            results[name] = sampled_payment_stats(pmf, n_price_samples, seed=sample_rng)
+    recorder.count("sweep.points")
     return results
 
 
-def _sweep_point_task(args) -> dict[str, PaymentStats]:
-    """Unpack-and-run helper; module-level so it pickles for a pool."""
-    setting, mechanisms, n_workers, n_tasks, n_price_samples, child_seed = args
-    return payment_sweep_point(
-        setting,
-        mechanisms,
-        n_workers=n_workers,
-        n_tasks=n_tasks,
-        n_price_samples=n_price_samples,
-        seed=np.random.default_rng(child_seed),
-    )
+def _sweep_point_task(args) -> tuple[dict[str, PaymentStats], dict | None]:
+    """Unpack-and-run helper; module-level so it pickles for a pool.
+
+    Returns the point's statistics plus — when metrics collection is on —
+    the picklable snapshot of a fresh per-point recorder, so the serial
+    and pooled paths merge identical metrics (see :func:`payment_sweep`).
+    """
+    setting, mechanisms, n_workers, n_tasks, n_price_samples, child_seed, collect = args
+
+    def evaluate() -> dict[str, PaymentStats]:
+        return payment_sweep_point(
+            setting,
+            mechanisms,
+            n_workers=n_workers,
+            n_tasks=n_tasks,
+            n_price_samples=n_price_samples,
+            seed=np.random.default_rng(child_seed),
+        )
+
+    if not collect:
+        return evaluate(), None
+    local = MetricsRecorder()
+    with use_recorder(local):
+        stats = evaluate()
+    return stats, local.snapshot()
 
 
 def payment_sweep(
@@ -137,6 +161,7 @@ def payment_sweep(
     n_price_samples: int = 10_000,
     seed: Union[RngLike, np.random.SeedSequence] = None,
     max_workers: int | None = None,
+    recorder: Recorder | None = None,
 ) -> list[dict[str, PaymentStats]]:
     """Evaluate a whole Figure 1–4 sweep, optionally on a process pool.
 
@@ -144,6 +169,12 @@ def payment_sweep(
     :func:`repro.utils.rng.spawn_seed_sequences`, so the parallel and
     serial paths return *identical* statistics — parallelism only buys
     wall-clock time, never changes numbers.
+
+    When a metrics ``recorder`` is supplied (or installed as the ambient
+    one via :func:`repro.obs.use_recorder`), every point runs under its
+    own fresh :class:`~repro.obs.MetricsRecorder` — serially or in the
+    pool workers alike — and the per-point snapshots merge into the sink
+    in input order, so merged metrics are backend-independent too.
 
     Parameters
     ----------
@@ -163,18 +194,28 @@ def payment_sweep(
     max_workers:
         ``None`` or ``1`` runs serially in-process; larger values fan the
         points out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    recorder:
+        Observability sink; defaults to the ambient recorder.
 
     Returns
     -------
     list of dict
         Per point, ``{mechanism name: PaymentStats}`` in input order.
     """
+    sink = current_recorder() if recorder is None else recorder
+    collect = isinstance(sink, MetricsRecorder)
     children = spawn_seed_sequences(seed, len(points))
     tasks = [
-        (setting, dict(mechanisms), n_workers, n_tasks, n_price_samples, child)
+        (setting, dict(mechanisms), n_workers, n_tasks, n_price_samples, child, collect)
         for (n_workers, n_tasks), child in zip(points, children)
     ]
     if max_workers is None or max_workers <= 1:
-        return [_sweep_point_task(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(_sweep_point_task, tasks))
+        pairs = [_sweep_point_task(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            pairs = list(pool.map(_sweep_point_task, tasks))
+    if collect:
+        for _, snapshot in pairs:
+            if snapshot is not None:
+                sink.merge_snapshot(snapshot)
+    return [stats for stats, _ in pairs]

@@ -18,6 +18,7 @@ from repro.auction.mechanism import Mechanism, PricePMF
 from repro.coverage.greedy import static_order_cover
 from repro.mechanisms.dp_hsrc import payment_score_sensitivity
 from repro.mechanisms.price_set import feasible_price_set, group_prices_by_candidates
+from repro.obs import current_recorder
 from repro.privacy.exponential import ExponentialMechanism
 from repro.utils import validation
 
@@ -41,28 +42,51 @@ class BaselineAuction(Mechanism):
 
     def price_pmf(self, instance: AuctionInstance) -> PricePMF:
         """Exact (price, winner-set) distribution for ``instance``."""
-        prices = feasible_price_set(instance)
+        recorder = current_recorder()
+        with recorder.span(
+            "price_set", f"{self.name}.price_set", n_workers=instance.n_workers
+        ):
+            prices = feasible_price_set(instance)
+            groups = group_prices_by_candidates(instance, prices)
         winner_sets: list[np.ndarray] = [None] * prices.size  # type: ignore[list-item]
 
-        for group in group_prices_by_candidates(instance, prices):
+        for group in groups:
             # Descending static gain over the affordable workers; ties
             # break toward the lower original index for determinism.
-            static_gain = group.problem.gains.sum(axis=1)
-            order = np.argsort(-static_gain, kind="stable")
-            local = static_order_cover(group.problem, order=order).selection
+            with recorder.span(
+                "greedy_group",
+                f"{self.name}.static_order_group",
+                n_candidates=int(group.candidates.size),
+                n_prices=int(group.price_indices.size),
+            ):
+                static_gain = group.problem.gains.sum(axis=1)
+                order = np.argsort(-static_gain, kind="stable")
+                local = static_order_cover(group.problem, order=order).selection
             winners = group.candidates[local]
             for k in group.price_indices:
                 winner_sets[int(k)] = winners
 
-        cover_sizes = np.array([w.size for w in winner_sets], dtype=float)
-        mechanism = ExponentialMechanism(
-            scores=-(prices * cover_sizes),
+        sensitivity = payment_score_sensitivity(instance)
+        with recorder.span(
+            "exp_mech", f"{self.name}.exp_mech", support_size=int(prices.size)
+        ):
+            cover_sizes = np.array([w.size for w in winner_sets], dtype=float)
+            mechanism = ExponentialMechanism(
+                scores=-(prices * cover_sizes),
+                epsilon=self.epsilon,
+                sensitivity=sensitivity,
+            )
+            probabilities = mechanism.probabilities
+        recorder.ledger.record(
+            self.name,
             epsilon=self.epsilon,
-            sensitivity=payment_score_sensitivity(instance),
+            sensitivity=sensitivity,
+            support_size=int(prices.size),
+            n_workers=instance.n_workers,
         )
         return PricePMF(
             prices=prices,
-            probabilities=mechanism.probabilities,
+            probabilities=probabilities,
             winner_sets=tuple(winner_sets),
             n_workers=instance.n_workers,
         )

@@ -38,6 +38,7 @@ from repro.auction.mechanism import Mechanism, PricePMF
 from repro.coverage.greedy import GreedyResult, greedy_cover
 from repro.coverage.problem import CoverProblem
 from repro.mechanisms.price_set import feasible_price_set, group_prices_by_candidates
+from repro.obs import current_recorder
 from repro.privacy.exponential import ExponentialMechanism
 from repro.utils import validation
 
@@ -62,6 +63,12 @@ class DPHSRCAuction(Mechanism):
         :func:`~repro.coverage.reference.reference_greedy_cover` here to
         measure the kernel speedup end-to-end.  Must be a module-level
         callable for the mechanism to stay picklable.
+    record_ledger:
+        Whether :meth:`price_pmf` records its exponential-mechanism
+        price draw in the ambient privacy ledger (see
+        :mod:`repro.obs`).  Default on; the permute-and-flip variant
+        turns it off for its internal winner-stage reuse, whose
+        exponential-mechanism probabilities are discarded unreleased.
 
     Examples
     --------
@@ -87,10 +94,12 @@ class DPHSRCAuction(Mechanism):
         epsilon: float,
         *,
         cover_solver: Callable[[CoverProblem], GreedyResult] = greedy_cover,
+        record_ledger: bool = True,
     ) -> None:
         validation.require_positive(epsilon, "epsilon")
         self.epsilon = float(epsilon)
         self.cover_solver = cover_solver
+        self.record_ledger = bool(record_ledger)
 
     def price_pmf(self, instance: AuctionInstance) -> PricePMF:
         """Exact (price, winner-set) distribution for ``instance``.
@@ -100,24 +109,52 @@ class DPHSRCAuction(Mechanism):
         EmptyPriceSetError
             When no grid price is feasible.
         """
-        prices = feasible_price_set(instance)
+        recorder = current_recorder()
+        with recorder.span(
+            "price_set", f"{self.name}.price_set", n_workers=instance.n_workers
+        ) as span:
+            prices = feasible_price_set(instance)
+            groups = group_prices_by_candidates(instance, prices)
+            span.set(support_size=int(prices.size), n_groups=len(groups))
         winner_sets: list[np.ndarray] = [None] * prices.size  # type: ignore[list-item]
 
-        for group in group_prices_by_candidates(instance, prices):
-            local = self.cover_solver(group.problem).selection
+        for group in groups:
+            with recorder.span(
+                "greedy_group",
+                f"{self.name}.greedy_group",
+                n_candidates=int(group.candidates.size),
+                n_prices=int(group.price_indices.size),
+            ) as span:
+                local = self.cover_solver(group.problem).selection
+                span.set(cover_size=int(local.size))
             winners = group.candidates[local]
             for k in group.price_indices:
                 winner_sets[int(k)] = winners
+        recorder.count("auction.greedy_groups", len(groups))
 
-        cover_sizes = np.array([w.size for w in winner_sets], dtype=float)
-        mechanism = ExponentialMechanism(
-            scores=-(prices * cover_sizes),
-            epsilon=self.epsilon,
-            sensitivity=payment_score_sensitivity(instance),
-        )
+        sensitivity = payment_score_sensitivity(instance)
+        with recorder.span(
+            "exp_mech", f"{self.name}.exp_mech", support_size=int(prices.size)
+        ):
+            cover_sizes = np.array([w.size for w in winner_sets], dtype=float)
+            mechanism = ExponentialMechanism(
+                scores=-(prices * cover_sizes),
+                epsilon=self.epsilon,
+                sensitivity=sensitivity,
+            )
+            probabilities = mechanism.probabilities
+        recorder.count("auction.price_pmf_calls")
+        if self.record_ledger:
+            recorder.ledger.record(
+                self.name,
+                epsilon=self.epsilon,
+                sensitivity=sensitivity,
+                support_size=int(prices.size),
+                n_workers=instance.n_workers,
+            )
         return PricePMF(
             prices=prices,
-            probabilities=mechanism.probabilities,
+            probabilities=probabilities,
             winner_sets=tuple(winner_sets),
             n_workers=instance.n_workers,
         )
@@ -145,14 +182,26 @@ def reweight_pmf(pmf: PricePMF, instance: AuctionInstance, epsilon: float) -> Pr
     (price, winner-set) support with probabilities for ``epsilon``.
     """
     validation.require_positive(epsilon, "epsilon")
-    mechanism = ExponentialMechanism(
-        scores=-pmf.total_payments.astype(float),
+    recorder = current_recorder()
+    sensitivity = payment_score_sensitivity(instance)
+    with recorder.span(
+        "exp_mech", "dp-hsrc.reweight", support_size=pmf.support_size
+    ):
+        mechanism = ExponentialMechanism(
+            scores=-pmf.total_payments.astype(float),
+            epsilon=float(epsilon),
+            sensitivity=sensitivity,
+        )
+        probabilities = mechanism.probabilities
+    recorder.ledger.record(
+        "dp-hsrc/reweight",
         epsilon=float(epsilon),
-        sensitivity=payment_score_sensitivity(instance),
+        sensitivity=sensitivity,
+        support_size=pmf.support_size,
     )
     return PricePMF(
         prices=pmf.prices,
-        probabilities=mechanism.probabilities,
+        probabilities=probabilities,
         winner_sets=pmf.winner_sets,
         n_workers=pmf.n_workers,
     )

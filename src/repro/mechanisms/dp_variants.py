@@ -16,6 +16,7 @@ from repro.auction.instance import AuctionInstance
 from repro.auction.mechanism import Mechanism, PricePMF
 from repro.auction.outcome import AuctionOutcome
 from repro.mechanisms.dp_hsrc import DPHSRCAuction, payment_score_sensitivity
+from repro.obs import current_recorder
 from repro.privacy.selection import (
     permute_and_flip_pmf_exact,
     permute_and_flip_pmf_monte_carlo,
@@ -53,7 +54,10 @@ class PermuteFlipHSRCAuction(Mechanism):
         validation.require_positive(epsilon, "epsilon")
         self.epsilon = float(epsilon)
         self.pmf_samples = int(pmf_samples)
-        self._winner_stage = DPHSRCAuction(epsilon=epsilon)
+        # The winner stage's exponential-mechanism probabilities are
+        # discarded unreleased, so it must not record ledger spending —
+        # this mechanism records its own permute-and-flip draw instead.
+        self._winner_stage = DPHSRCAuction(epsilon=epsilon, record_ledger=False)
 
     def _winner_schedule(self, instance: AuctionInstance) -> PricePMF:
         """Prices, winner sets, and payment scores (ε-independent)."""
@@ -61,19 +65,30 @@ class PermuteFlipHSRCAuction(Mechanism):
 
     def price_pmf(self, instance: AuctionInstance) -> PricePMF:
         """Exact (small support) or Monte-Carlo (large support) PMF."""
+        recorder = current_recorder()
         schedule = self._winner_schedule(instance)
         scores = -schedule.total_payments
         sensitivity = payment_score_sensitivity(instance)
-        if schedule.support_size <= 9:
-            probs = permute_and_flip_pmf_exact(scores, self.epsilon, sensitivity)
-        else:
-            probs = permute_and_flip_pmf_monte_carlo(
-                scores, self.epsilon, sensitivity,
-                n_samples=self.pmf_samples, seed=0,
-            )
-        # Guard against Monte-Carlo zero cells breaking the PMF contract.
-        probs = np.clip(probs, 0.0, None)
-        probs = probs / probs.sum()
+        with recorder.span(
+            "exp_mech", f"{self.name}.permute_flip", support_size=schedule.support_size
+        ):
+            if schedule.support_size <= 9:
+                probs = permute_and_flip_pmf_exact(scores, self.epsilon, sensitivity)
+            else:
+                probs = permute_and_flip_pmf_monte_carlo(
+                    scores, self.epsilon, sensitivity,
+                    n_samples=self.pmf_samples, seed=0,
+                )
+            # Guard against Monte-Carlo zero cells breaking the PMF contract.
+            probs = np.clip(probs, 0.0, None)
+            probs = probs / probs.sum()
+        recorder.ledger.record(
+            self.name,
+            epsilon=self.epsilon,
+            sensitivity=sensitivity,
+            support_size=schedule.support_size,
+            n_workers=schedule.n_workers,
+        )
         return PricePMF(
             prices=schedule.prices,
             probabilities=probs,
@@ -83,11 +98,24 @@ class PermuteFlipHSRCAuction(Mechanism):
 
     def run(self, instance: AuctionInstance, seed: RngLike = None) -> AuctionOutcome:
         """Sample the true permute-and-flip mechanism (always exact)."""
+        recorder = current_recorder()
         schedule = self._winner_schedule(instance)
-        index = permute_and_flip_sample(
-            -schedule.total_payments,
-            self.epsilon,
-            payment_score_sensitivity(instance),
-            seed=seed,
+        sensitivity = payment_score_sensitivity(instance)
+        with recorder.span(
+            "sample", f"{self.name}.sample", support_size=schedule.support_size
+        ):
+            index = permute_and_flip_sample(
+                -schedule.total_payments,
+                self.epsilon,
+                sensitivity,
+                seed=seed,
+            )
+        recorder.count("auction.runs")
+        recorder.ledger.record(
+            self.name,
+            epsilon=self.epsilon,
+            sensitivity=sensitivity,
+            support_size=schedule.support_size,
+            n_workers=schedule.n_workers,
         )
         return schedule.outcome_at(index)

@@ -1,0 +1,362 @@
+"""JSON-lines trace export, schema validation, and the ASCII report.
+
+A trace is a plain-text file with one JSON object per line (schema
+``repro-trace/1``).  The first line is always the ``meta`` header; the
+remaining lines each carry a ``type`` from :data:`LINE_TYPES`:
+
+``meta``
+    ``{"type": "meta", "schema": "repro-trace/1", ...}`` — file header;
+    free-form extra keys (generator, seed, experiment name).
+``span``
+    One timed phase: ``kind``, ``name``, ``seconds`` (≥ 0), ``attrs``.
+``counter``
+    Final counter value: ``name``, ``value``.
+``hist``
+    Histogram summary: ``name``, ``count``, ``sum``, ``min``, ``max``,
+    ``mean`` (raw samples stay in memory; the trace keeps the summary).
+``ledger``
+    One ε-consuming draw: ``mechanism``, ``epsilon``, ``sensitivity``,
+    ``composition`` (``sequential``/``parallel``), ``attrs``.
+``ledger_total``
+    Trailer: ``total_epsilon``, ``sequential_epsilon``,
+    ``parallel_epsilon``, ``n_entries``, ``budget``.  The validator
+    recomputes the composition from the ``ledger`` lines and rejects the
+    file when the trailer disagrees.
+
+:func:`validate_trace_lines` is shared by the test suite and the CI
+``obs-smoke`` job; it raises :class:`~repro.exceptions.ValidationError`
+on any malformed line and returns a summary dict (distinct span kinds,
+counter values, composed ε) for further assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.exceptions import ValidationError
+from repro.utils.ascii_plot import ascii_chart
+from repro.utils.tables import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.obs.recorder import MetricsRecorder
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "LINE_TYPES",
+    "build_trace_lines",
+    "validate_trace_lines",
+    "validate_trace_file",
+    "read_trace",
+    "render_report",
+]
+
+logger = logging.getLogger("repro.obs.trace")
+
+#: Current trace schema identifier (first line of every trace).
+TRACE_SCHEMA = "repro-trace/1"
+
+#: The closed set of line types a valid trace may contain.
+LINE_TYPES = ("meta", "span", "counter", "hist", "ledger", "ledger_total")
+
+#: Keys every line type must carry (beyond ``type``).
+_REQUIRED_KEYS = {
+    "meta": ("schema",),
+    "span": ("kind", "name", "seconds", "attrs"),
+    "counter": ("name", "value"),
+    "hist": ("name", "count", "sum", "min", "max", "mean"),
+    "ledger": ("mechanism", "epsilon", "sensitivity", "composition", "attrs"),
+    "ledger_total": (
+        "total_epsilon",
+        "sequential_epsilon",
+        "parallel_epsilon",
+        "n_entries",
+        "budget",
+    ),
+}
+
+
+def build_trace_lines(
+    recorder: "MetricsRecorder", *, meta: Mapping | None = None
+) -> list[str]:
+    """Serialize a recorder into schema ``repro-trace/1`` JSON lines.
+
+    Line order is deterministic: the meta header, spans in completion
+    order, counters and histogram summaries sorted by name, ledger
+    entries in record order, then the ledger trailer.
+    """
+    from repro.obs.recorder import dumps_json
+
+    header = {"type": "meta", "schema": TRACE_SCHEMA}
+    header.update(dict(meta or {}))
+    lines = [dumps_json(header)]
+    for event in recorder.spans:
+        lines.append(dumps_json(event.to_json_obj()))
+    for name in sorted(recorder.counters):
+        lines.append(
+            dumps_json({"type": "counter", "name": name, "value": recorder.counters[name]})
+        )
+    for name in sorted(recorder.histograms):
+        values = recorder.histograms[name]
+        lines.append(
+            dumps_json(
+                {
+                    "type": "hist",
+                    "name": name,
+                    "count": len(values),
+                    "sum": float(sum(values)),
+                    "min": float(min(values)),
+                    "max": float(max(values)),
+                    "mean": float(sum(values) / len(values)),
+                }
+            )
+        )
+    ledger = recorder.ledger
+    for entry in ledger.entries:
+        lines.append(dumps_json(entry.to_json_obj()))
+    lines.append(
+        dumps_json(
+            {
+                "type": "ledger_total",
+                "total_epsilon": ledger.total_epsilon,
+                "sequential_epsilon": ledger.sequential_epsilon,
+                "parallel_epsilon": ledger.parallel_epsilon,
+                "n_entries": len(ledger.entries),
+                "budget": ledger.budget,
+            }
+        )
+    )
+    return lines
+
+
+def _fail(line_no: int, message: str) -> ValidationError:
+    return ValidationError(f"trace line {line_no}: {message}")
+
+
+def validate_trace_lines(lines: Iterable[str]) -> dict:
+    """Validate JSON-lines trace content; raise on any violation.
+
+    Checks performed:
+
+    * every line parses as a JSON object with a known ``type`` carrying
+      that type's required keys;
+    * the first line is a ``meta`` header with schema
+      :data:`TRACE_SCHEMA`;
+    * span ``seconds`` are non-negative; ledger ``epsilon`` and
+      ``sensitivity`` are positive; compositions are known;
+    * the ``ledger_total`` trailer (required when any ``ledger`` line
+      exists) matches the composition recomputed from the entries.
+
+    Returns
+    -------
+    dict
+        Summary with ``span_kinds`` (sorted distinct kinds),
+        ``n_spans``, ``counters``, ``ledger_entries``, and
+        ``total_epsilon``.
+
+    Raises
+    ------
+    ValidationError
+        On the first malformed or inconsistent line.
+    """
+    span_kinds: set[str] = set()
+    counters: dict[str, float] = {}
+    n_spans = 0
+    entries: list[dict] = []
+    trailer: dict | None = None
+    n_lines = 0
+
+    for line_no, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        n_lines += 1
+        try:
+            obj = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _fail(line_no, f"not valid JSON ({exc})") from exc
+        if not isinstance(obj, dict):
+            raise _fail(line_no, "not a JSON object")
+        line_type = obj.get("type")
+        if line_type not in LINE_TYPES:
+            raise _fail(line_no, f"unknown line type {line_type!r}")
+        missing = [key for key in _REQUIRED_KEYS[line_type] if key not in obj]
+        if missing:
+            raise _fail(line_no, f"{line_type} line missing keys {missing}")
+        if n_lines == 1:
+            if line_type != "meta":
+                raise _fail(line_no, "first line must be the meta header")
+            if obj["schema"] != TRACE_SCHEMA:
+                raise _fail(line_no, f"unsupported schema {obj['schema']!r}")
+        if line_type == "span":
+            if not isinstance(obj["seconds"], (int, float)) or obj["seconds"] < 0:
+                raise _fail(line_no, f"span seconds must be >= 0, got {obj['seconds']!r}")
+            span_kinds.add(str(obj["kind"]))
+            n_spans += 1
+        elif line_type == "counter":
+            counters[str(obj["name"])] = float(obj["value"])
+        elif line_type == "ledger":
+            if not (isinstance(obj["epsilon"], (int, float)) and obj["epsilon"] > 0):
+                raise _fail(line_no, f"ledger epsilon must be > 0, got {obj['epsilon']!r}")
+            if not (isinstance(obj["sensitivity"], (int, float)) and obj["sensitivity"] > 0):
+                raise _fail(
+                    line_no, f"ledger sensitivity must be > 0, got {obj['sensitivity']!r}"
+                )
+            if obj["composition"] not in ("sequential", "parallel"):
+                raise _fail(line_no, f"unknown composition {obj['composition']!r}")
+            entries.append(obj)
+        elif line_type == "ledger_total":
+            trailer = obj
+
+    if n_lines == 0:
+        raise ValidationError("trace is empty")
+    if entries and trailer is None:
+        raise ValidationError("trace has ledger entries but no ledger_total trailer")
+
+    sequential = sum(e["epsilon"] for e in entries if e["composition"] == "sequential")
+    parallel_eps = [e["epsilon"] for e in entries if e["composition"] == "parallel"]
+    total = sequential + (max(parallel_eps) if parallel_eps else 0.0)
+    if trailer is not None:
+        if int(trailer["n_entries"]) != len(entries):
+            raise ValidationError(
+                f"ledger_total counts {trailer['n_entries']} entries, trace has {len(entries)}"
+            )
+        if abs(float(trailer["total_epsilon"]) - total) > 1e-9:
+            raise ValidationError(
+                f"ledger_total ε {trailer['total_epsilon']!r} does not match the "
+                f"composition of the entries ({total!r})"
+            )
+
+    return {
+        "span_kinds": sorted(span_kinds),
+        "n_spans": n_spans,
+        "counters": counters,
+        "ledger_entries": len(entries),
+        "total_epsilon": total,
+    }
+
+
+def validate_trace_file(path) -> dict:
+    """Read ``path`` and :func:`validate_trace_lines` its content."""
+    text = Path(path).read_text(encoding="utf-8")
+    summary = validate_trace_lines(text.splitlines())
+    logger.debug("validated trace %s: %s", path, summary)
+    return summary
+
+
+def read_trace(path) -> list[dict]:
+    """Parse a trace file into a list of line objects (no validation)."""
+    return [
+        json.loads(line)
+        for line in Path(path).read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+
+
+def render_report(recorder: "MetricsRecorder") -> str:
+    """ASCII summary of a recorder: phase table, counters, ledger.
+
+    Reuses :func:`repro.utils.tables.render_table` for the tabular parts
+    and :func:`repro.utils.ascii_plot.ascii_chart` for the composed-ε
+    trajectory (drawn when the ledger holds at least two entries).
+    """
+    sections: list[str] = []
+
+    seconds = recorder.span_seconds_by_kind()
+    if seconds:
+        counts = recorder.span_counts_by_kind()
+        total = sum(seconds.values())
+        rows = [
+            (
+                kind,
+                counts[kind],
+                seconds[kind] * 1e3,
+                seconds[kind] * 1e3 / counts[kind],
+                100.0 * seconds[kind] / total if total > 0 else 0.0,
+            )
+            for kind in seconds
+        ]
+        sections.append(
+            render_table(
+                ["span kind", "count", "total ms", "mean ms", "share %"],
+                rows,
+                title="Span time by kind",
+            )
+        )
+
+    if recorder.counters:
+        sections.append(
+            render_table(
+                ["counter", "value"],
+                [(name, recorder.counters[name]) for name in sorted(recorder.counters)],
+                title="Counters",
+            )
+        )
+
+    if recorder.histograms:
+        rows = []
+        for name in sorted(recorder.histograms):
+            values = recorder.histograms[name]
+            rows.append(
+                (
+                    name,
+                    len(values),
+                    float(min(values)),
+                    float(sum(values) / len(values)),
+                    float(max(values)),
+                )
+            )
+        sections.append(
+            render_table(
+                ["histogram", "count", "min", "mean", "max"],
+                rows,
+                title="Value histograms",
+            )
+        )
+
+    ledger = recorder.ledger
+    if ledger.entries:
+        by_mechanism: dict[str, tuple[int, float]] = {}
+        for entry in ledger.entries:
+            count, eps = by_mechanism.get(entry.mechanism, (0, 0.0))
+            by_mechanism[entry.mechanism] = (count + 1, eps + entry.epsilon)
+        rows = [
+            (name, count, eps) for name, (count, eps) in sorted(by_mechanism.items())
+        ]
+        budget = "unbounded" if ledger.budget is None else f"{ledger.budget:.6g}"
+        sections.append(
+            render_table(
+                ["mechanism", "draws", "Σ ε"],
+                rows,
+                precision=6,
+                title=(
+                    f"Privacy ledger (composed ε = {ledger.total_epsilon:.6g}, "
+                    f"budget = {budget})"
+                ),
+            )
+        )
+        if len(ledger.entries) >= 2:
+            running: list[float] = []
+            seq = 0.0
+            par = 0.0
+            for entry in ledger.entries:
+                if entry.composition == "parallel":
+                    par = max(par, entry.epsilon)
+                else:
+                    seq += entry.epsilon
+                running.append(seq + par)
+            sections.append(
+                ascii_chart(
+                    list(range(1, len(running) + 1)),
+                    {"composed ε": running},
+                    width=min(64, max(8, len(running))),
+                    height=8,
+                    title="Composed ε by draw",
+                )
+            )
+
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)

@@ -53,13 +53,16 @@ def kl_divergence(p, q) -> float:
 
     Zero-probability points of ``p`` contribute nothing; a point where
     ``p > 0`` but ``q = 0`` yields ``inf`` (the distributions are then
-    perfectly distinguishable there).
+    perfectly distinguishable there).  The result is clamped at zero:
+    KL is non-negative by Gibbs' inequality, but near-identical inputs
+    can leave a ``−1e-16``-scale float residue that would otherwise
+    break downstream identities such as Pinsker's ``sqrt(KL/2)``.
     """
     p, q = _validate_pair(p, q)
     support = p > 0
     if np.any(q[support] == 0):
         return float("inf")
-    return float(np.sum(p[support] * np.log(p[support] / q[support])))
+    return float(max(np.sum(p[support] * np.log(p[support] / q[support])), 0.0))
 
 
 def max_log_ratio(p, q) -> float:

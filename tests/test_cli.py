@@ -32,3 +32,57 @@ class TestCLI:
         main(["figure5", "--fast", "--seed", "9"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestObservabilityFlags:
+    def test_trace_flag_writes_a_valid_trace(self, capsys, tmp_path):
+        from repro.obs import read_trace, validate_trace_file
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["figure5", "--fast", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {trace}" in out
+        summary = validate_trace_file(trace)
+        assert len(summary["span_kinds"]) >= 4
+        assert "experiment" in summary["span_kinds"]
+        assert summary["ledger_entries"] > 0
+        assert summary["total_epsilon"] > 0
+        header = read_trace(trace)[0]
+        assert header["generator"] == "repro-cli"
+        assert header["experiments"] == ["figure5"]
+
+    def test_tracing_does_not_change_the_printed_series(self, capsys, tmp_path):
+        main(["figure5", "--fast", "--seed", "4"])
+        bare = capsys.readouterr().out
+        trace = tmp_path / "trace.jsonl"
+        main(["figure5", "--fast", "--seed", "4", "--trace", str(trace)])
+        traced = capsys.readouterr().out
+        # Identical output modulo the trailing "wrote <path>" line.
+        assert traced.startswith(bare)
+        assert traced[len(bare):].strip() == f"wrote {trace}"
+
+    def test_metrics_flag_prints_the_summary_report(self, capsys):
+        assert main(["figure5", "--fast", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "Span time by kind" in out
+        assert "Privacy ledger" in out
+
+    def test_verbose_flag_configures_repro_logging(self):
+        import logging
+
+        from repro.cli import configure_logging
+
+        logger = logging.getLogger("repro")
+        before_level = logger.level
+        before_handlers = list(logger.handlers)
+        try:
+            configure_logging(2)
+            assert logger.level == logging.DEBUG
+            n_handlers = len(logger.handlers)
+            # Idempotent: a second call must not stack handlers.
+            configure_logging(1)
+            assert len(logger.handlers) == n_handlers
+            assert logger.level == logging.INFO
+        finally:
+            logger.setLevel(before_level)
+            logger.handlers[:] = before_handlers

@@ -1,0 +1,139 @@
+"""Unit tests for the privacy-budget ledger (repro.obs.ledger)."""
+
+import pytest
+
+from repro.exceptions import BudgetExceededError, ValidationError
+from repro.obs import LedgerEntry, PrivacyLedger
+from repro.privacy.composition import PrivacyAccountant
+
+
+class TestRecord:
+    def test_sequential_draws_add(self):
+        ledger = PrivacyLedger()
+        assert ledger.record("dp-hsrc", epsilon=0.1, sensitivity=500.0) == pytest.approx(0.1)
+        assert ledger.record("dp-hsrc", epsilon=0.2, sensitivity=500.0) == pytest.approx(0.3)
+        assert ledger.total_epsilon == pytest.approx(0.3)
+        assert ledger.sequential_epsilon == pytest.approx(0.3)
+        assert ledger.parallel_epsilon == 0.0
+        assert len(ledger) == 2
+
+    def test_parallel_draws_cost_only_their_max(self):
+        ledger = PrivacyLedger()
+        ledger.record("a", epsilon=0.5, sensitivity=1.0, parallel=True)
+        ledger.record("b", epsilon=0.3, sensitivity=1.0, parallel=True)
+        ledger.record("c", epsilon=0.1, sensitivity=1.0)
+        assert ledger.parallel_epsilon == pytest.approx(0.5)
+        assert ledger.total_epsilon == pytest.approx(0.6)
+
+    def test_entries_keep_mechanism_and_attrs(self):
+        ledger = PrivacyLedger()
+        ledger.record("dp-hsrc", epsilon=0.1, sensitivity=30.0, support_size=7)
+        entry = ledger.entries[0]
+        assert isinstance(entry, LedgerEntry)
+        assert entry.mechanism == "dp-hsrc"
+        assert entry.composition == "sequential"
+        assert entry.attrs == {"support_size": 7}
+        assert entry.to_json_obj()["type"] == "ledger"
+
+    @pytest.mark.parametrize("eps", [0.0, -1.0])
+    def test_nonpositive_epsilon_rejected(self, eps):
+        with pytest.raises(ValidationError, match="epsilon"):
+            PrivacyLedger().record("m", epsilon=eps, sensitivity=1.0)
+
+    def test_nonpositive_sensitivity_rejected(self):
+        with pytest.raises(ValidationError, match="sensitivity"):
+            PrivacyLedger().record("m", epsilon=0.1, sensitivity=0.0)
+
+    def test_discarding_ledger_keeps_nothing(self):
+        ledger = PrivacyLedger(keep=False)
+        assert ledger.record("m", epsilon=1.0, sensitivity=1.0) == 0.0
+        assert len(ledger) == 0
+        assert ledger.total_epsilon == 0.0
+
+
+class TestBudget:
+    def test_budget_exceeded_raises_and_retains_the_entry(self):
+        ledger = PrivacyLedger(budget=0.5)
+        ledger.record("m", epsilon=0.4, sensitivity=1.0)
+        with pytest.raises(BudgetExceededError, match="past the configured"):
+            ledger.record("m", epsilon=0.2, sensitivity=1.0)
+        # The audit trail must show the overspend.
+        assert len(ledger) == 2
+        assert ledger.total_epsilon == pytest.approx(0.6)
+        assert ledger.remaining == 0.0
+
+    def test_exact_budget_is_within(self):
+        ledger = PrivacyLedger(budget=0.5)
+        ledger.record("m", epsilon=0.5, sensitivity=1.0)
+        assert ledger.assert_within_budget() == pytest.approx(0.5)
+        assert ledger.remaining == pytest.approx(0.0)
+
+    def test_assert_within_explicit_budget(self):
+        ledger = PrivacyLedger()
+        ledger.record("m", epsilon=0.7, sensitivity=1.0)
+        assert ledger.assert_within_budget(1.0) == pytest.approx(0.7)
+        with pytest.raises(BudgetExceededError, match="exceeds the budget"):
+            ledger.assert_within_budget(0.5)
+
+    def test_assert_without_any_budget_is_an_error(self):
+        with pytest.raises(ValueError, match="no budget"):
+            PrivacyLedger().assert_within_budget()
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValidationError, match="budget"):
+            PrivacyLedger(budget=-1.0)
+
+    def test_remaining_is_none_when_unbudgeted(self):
+        assert PrivacyLedger().remaining is None
+
+
+class TestAccountantBridge:
+    def test_composition_matches_privacy_accountant(self):
+        """The ledger and the accountant apply identical pure-DP rules."""
+        ledger = PrivacyLedger()
+        ledger.record("a", epsilon=0.1, sensitivity=1.0)
+        ledger.record("b", epsilon=0.25, sensitivity=2.0, parallel=True)
+        ledger.record("c", epsilon=0.05, sensitivity=1.0)
+        ledger.record("d", epsilon=0.4, sensitivity=3.0, parallel=True)
+        accountant = ledger.to_accountant()
+        assert isinstance(accountant, PrivacyAccountant)
+        assert accountant.spent == pytest.approx(ledger.total_epsilon)
+
+    def test_bridge_carries_the_budget(self):
+        ledger = PrivacyLedger(budget=2.0)
+        ledger.record("m", epsilon=0.5, sensitivity=1.0)
+        assert ledger.to_accountant().budget == 2.0
+
+
+class TestSnapshotMerge:
+    def test_snapshot_round_trips(self):
+        src = PrivacyLedger(budget=5.0)
+        src.record("a", epsilon=0.1, sensitivity=1.0, n_workers=10)
+        src.record("b", epsilon=0.2, sensitivity=2.0, parallel=True)
+        dst = PrivacyLedger(budget=5.0)
+        dst.merge_snapshot(src.snapshot())
+        assert dst.snapshot() == src.snapshot()
+        assert dst.total_epsilon == pytest.approx(src.total_epsilon)
+
+    def test_merge_appends_in_order(self):
+        sink = PrivacyLedger()
+        for name in ("first", "second"):
+            part = PrivacyLedger()
+            part.record(name, epsilon=0.1, sensitivity=1.0)
+            sink.merge(part)
+        assert [e.mechanism for e in sink.entries] == ["first", "second"]
+        assert sink.total_epsilon == pytest.approx(0.2)
+
+    def test_merge_keeps_the_sinks_budget(self):
+        sink = PrivacyLedger(budget=1.0)
+        part = PrivacyLedger(budget=99.0)
+        part.record("m", epsilon=0.5, sensitivity=1.0)
+        sink.merge(part)
+        assert sink.budget == 1.0
+
+    def test_discarding_ledger_ignores_merges(self):
+        part = PrivacyLedger()
+        part.record("m", epsilon=0.5, sensitivity=1.0)
+        sink = PrivacyLedger(keep=False)
+        sink.merge(part)
+        assert len(sink) == 0

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.experiments",
     "repro.bench",
+    "repro.obs",
     "repro.utils",
 ]
 
