@@ -60,6 +60,15 @@ from repro.privacy import (
     pmf_kl_divergence,
     pmf_max_log_ratio,
 )
+from repro.resilience import (
+    FaultPlan,
+    ResilienceConfig,
+    ResilientExecutor,
+    RetryPolicy,
+    SweepCheckpoint,
+    current_resilience,
+    use_resilience,
+)
 from repro.workloads import (
     SETTING_I,
     SETTING_II,
@@ -107,6 +116,14 @@ __all__ = [
     "PrivacyLedger",
     "current_recorder",
     "use_recorder",
+    # resilience
+    "FaultPlan",
+    "RetryPolicy",
+    "ResilienceConfig",
+    "ResilientExecutor",
+    "SweepCheckpoint",
+    "current_resilience",
+    "use_resilience",
     # privacy
     "ExponentialMechanism",
     "PrivacyAccountant",

@@ -16,6 +16,12 @@ measurable and scalable:
 
 ``scripts/bench.py`` ties them together into the benchmark-regression
 harness that writes ``BENCH_greedy.json`` and ``BENCH_auction.json``.
+
+Failure handling is delegated to :mod:`repro.resilience`: the runner
+retries transient failures with the instance's original seed
+(deterministic backoff) and quarantines permanent ones into
+:attr:`~repro.bench.batch.BatchRunResult.failed` instead of aborting
+the batch — see ``docs/RESILIENCE.md``.
 """
 
 from repro.bench.batch import BatchAuctionRunner, BatchRunResult

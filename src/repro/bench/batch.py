@@ -1,4 +1,4 @@
-"""Batched auction execution with reproducible parallelism.
+"""Batched auction execution with reproducible parallelism and resilience.
 
 A deployed platform clears many independent auction instances per round
 (one per region, campaign, or time slot).  :class:`BatchAuctionRunner`
@@ -9,28 +9,53 @@ its own :class:`numpy.random.SeedSequence` child (derived from the
 master seed by position, never from a shared generator's consumption
 order), so neither the backend, the worker count, nor the scheduling
 order can change a single price or winner set.
+
+Failure semantics (the :mod:`repro.resilience` integration): an instance
+that raises no longer aborts the batch.  Transient failures
+(:class:`~repro.exceptions.TransientError`) are retried in the parent on
+the :class:`~repro.resilience.RetryPolicy`'s deterministic backoff
+schedule, re-running with the instance's *original* seed — a recovered
+instance is bit-identical to one that never failed.  Permanent failures
+are quarantined: the instance's outcome slot is ``None`` and a typed
+:class:`~repro.exceptions.InstanceExecutionError` lands in
+:attr:`BatchRunResult.failed`, so a crash at instance ``k`` still
+returns every other instance's outcome.  A seeded
+:class:`~repro.resilience.FaultPlan` can inject failures for chaos
+testing; fault, retry, and quarantine events are threaded through the
+ambient :mod:`repro.obs` recorder (``resilience.*`` counters and
+``retry`` spans).
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.auction.instance import AuctionInstance
 from repro.auction.mechanism import Mechanism
 from repro.auction.outcome import AuctionOutcome
+from repro.exceptions import InstanceExecutionError
 from repro.obs import MetricsRecorder, Recorder, current_recorder, use_recorder
+from repro.resilience.context import current_resilience
+from repro.resilience.faults import FaultPlan, ensure_outcome_sane
+from repro.resilience.retry import RetryPolicy, is_transient, retry_stream
 from repro.utils.rng import RngLike, spawn_seed_sequences
 
 __all__ = ["BatchAuctionRunner", "BatchRunResult"]
 
+logger = logging.getLogger("repro.bench.batch")
+
 #: Backends accepted by :class:`BatchAuctionRunner`.
 _BACKENDS = ("auto", "serial", "process")
+
+#: Quarantine/raise policies accepted by :class:`BatchAuctionRunner`.
+_ON_ERROR = ("quarantine", "raise")
 
 
 def _run_one(
@@ -38,6 +63,9 @@ def _run_one(
     instance: AuctionInstance,
     seed: np.random.SeedSequence,
     collect_metrics: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    index: int = 0,
+    attempt: int = 0,
 ) -> tuple[AuctionOutcome, Optional[dict]]:
     """Execute one instance with its dedicated seed sequence.
 
@@ -51,13 +79,51 @@ def _run_one(
     fresh-recorder-per-instance protocol, so merged metrics are
     identical across backends (merging happens in input order in
     :meth:`BatchAuctionRunner.run`).
+
+    When a ``fault_plan`` is supplied, the plan's fault for
+    ``(index, attempt)`` is injected: crash/timeout/transient faults
+    raise before the mechanism runs, and a poison fault corrupts the
+    completed outcome, which the sanity validation then rejects.
     """
+    if fault_plan is not None:
+        fault_plan.raise_if_planned(index, attempt)
     if not collect_metrics:
-        return mechanism.run(instance, np.random.default_rng(seed)), None
-    local = MetricsRecorder()
-    with use_recorder(local):
         outcome = mechanism.run(instance, np.random.default_rng(seed))
-    return outcome, local.snapshot()
+        snapshot = None
+    else:
+        local = MetricsRecorder()
+        with use_recorder(local):
+            outcome = mechanism.run(instance, np.random.default_rng(seed))
+        snapshot = local.snapshot()
+    if fault_plan is not None:
+        outcome = ensure_outcome_sane(fault_plan.corrupt(outcome, index, attempt))
+    return outcome, snapshot
+
+
+def _run_one_guarded(
+    mechanism: Mechanism,
+    instance: AuctionInstance,
+    seed: np.random.SeedSequence,
+    collect_metrics: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    index: int = 0,
+    attempt: int = 0,
+) -> tuple[Optional[AuctionOutcome], Optional[dict], Optional[Exception]]:
+    """:func:`_run_one`, but failures return instead of raise.
+
+    Pool workers must never raise out of ``pool.map`` — that would
+    discard every other instance's finished work — so the guarded form
+    returns ``(outcome, snapshot, error)`` with exactly one of
+    ``outcome``/``error`` set.  A failing attempt's partial metrics
+    snapshot is discarded; only successful attempts contribute metrics.
+    """
+    try:
+        outcome, snapshot = _run_one(
+            mechanism, instance, seed, collect_metrics, fault_plan, index, attempt
+        )
+        return outcome, snapshot, None
+    except Exception as exc:  # noqa: BLE001 - the whole point is containment
+        return None, None, exc
 
 
 @dataclass(frozen=True)
@@ -68,7 +134,7 @@ class BatchRunResult:
     ----------
     outcomes:
         One :class:`~repro.auction.outcome.AuctionOutcome` per instance,
-        in input order.
+        in input order.  A quarantined instance's slot is ``None``.
     backend:
         The backend that actually executed the batch (``"serial"`` or
         ``"process"`` — never ``"auto"``).
@@ -76,26 +142,45 @@ class BatchRunResult:
         Process count used (1 for the serial backend).
     wall_time:
         End-to-end wall-clock seconds for the batch.
+    failed:
+        One :class:`~repro.exceptions.InstanceExecutionError` per
+        quarantined instance (empty on a clean run), in input order —
+        each carries the instance index, its seed, the causal exception,
+        and the attempt count.
     """
 
-    outcomes: tuple[AuctionOutcome, ...]
+    outcomes: tuple[Optional[AuctionOutcome], ...]
     backend: str
     max_workers: int
     wall_time: float
+    failed: tuple[InstanceExecutionError, ...] = ()
 
     @property
     def n_instances(self) -> int:
-        """Number of instances executed."""
+        """Number of instances executed (including quarantined ones)."""
         return len(self.outcomes)
 
     @property
+    def n_failed(self) -> int:
+        """Number of quarantined instances."""
+        return len(self.failed)
+
+    @property
     def total_payment(self) -> float:
-        """Sum of the platform's total payment across the batch."""
-        return float(sum(outcome.total_payment for outcome in self.outcomes))
+        """Sum of the platform's total payment over completed instances."""
+        return float(
+            sum(outcome.total_payment for outcome in self.outcomes if outcome is not None)
+        )
 
     def prices(self) -> np.ndarray:
-        """The clearing price drawn for each instance, in input order."""
-        return np.array([outcome.price for outcome in self.outcomes], dtype=float)
+        """The clearing price drawn for each instance, in input order.
+
+        Quarantined instances contribute ``NaN``.
+        """
+        return np.array(
+            [np.nan if outcome is None else outcome.price for outcome in self.outcomes],
+            dtype=float,
+        )
 
 
 class BatchAuctionRunner:
@@ -116,6 +201,23 @@ class BatchAuctionRunner:
         capped by the batch size.
     process_threshold:
         Minimum batch size for ``auto`` to choose the process pool.
+    retry:
+        :class:`~repro.resilience.RetryPolicy` for transient instance
+        failures.  ``None`` falls back to the ambient
+        :func:`~repro.resilience.current_resilience` config (off by
+        default).  Retries re-run with the instance's original seed, so
+        a recovered instance is bit-identical to a never-failed one.
+    fault_plan:
+        Seeded :class:`~repro.resilience.FaultPlan` injected into the
+        per-instance execution path (chaos testing).  ``None`` falls
+        back to the ambient config.
+    on_error:
+        ``"quarantine"`` (default) turns a permanently failed instance
+        into a ``None`` outcome slot plus an entry in
+        :attr:`BatchRunResult.failed`; ``"raise"`` propagates the
+        :class:`~repro.exceptions.InstanceExecutionError` instead.
+    sleep:
+        Injection point for the backoff sleep (tests pass a stub).
 
     Examples
     --------
@@ -139,15 +241,25 @@ class BatchAuctionRunner:
         backend: str = "auto",
         max_workers: int | None = None,
         process_threshold: int = 8,
+        retry: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        on_error: str = "quarantine",
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if on_error not in _ON_ERROR:
+            raise ValueError(f"on_error must be one of {_ON_ERROR}, got {on_error!r}")
         self.mechanism = mechanism
         self.backend = backend
         self.max_workers = max_workers
         self.process_threshold = int(process_threshold)
+        self.retry = retry
+        self.fault_plan = fault_plan
+        self.on_error = on_error
+        self._sleep = sleep
 
     def _resolve(self, n_instances: int) -> tuple[str, int]:
         """Pick the concrete backend and worker count for a batch size."""
@@ -190,47 +302,124 @@ class BatchAuctionRunner:
             merged into ``recorder`` in input order, so merged counters,
             histograms, and ledger entries are *identical* across
             backends and worker counts.  Outcomes are never affected.
+
+        Raises
+        ------
+        InstanceExecutionError
+            Only with ``on_error="raise"``, for the first permanently
+            failed instance; the default quarantines failures into
+            :attr:`BatchRunResult.failed` instead.
         """
         instances = list(instances)
         seeds = spawn_seed_sequences(seed, len(instances))
         backend, workers = self._resolve(len(instances))
         sink = current_recorder() if recorder is None else recorder
         collect = isinstance(sink, MetricsRecorder)
+        ambient = current_resilience()
+        retry = self.retry if self.retry is not None else ambient.retry
+        fault_plan = self.fault_plan if self.fault_plan is not None else ambient.fault_plan
+        n = len(instances)
         start = time.perf_counter()
         with sink.span(
             "batch",
             f"batch.{self.mechanism.name}",
             backend=backend,
             max_workers=workers,
-            n_instances=len(instances),
+            n_instances=n,
         ):
             if backend == "serial":
-                pairs = [
-                    _run_one(self.mechanism, instance, child, collect)
-                    for instance, child in zip(instances, seeds)
+                triples = [
+                    _run_one_guarded(self.mechanism, instance, child, collect, fault_plan, i)
+                    for i, (instance, child) in enumerate(zip(instances, seeds))
                 ]
             else:
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    pairs = list(
+                    triples = list(
                         pool.map(
-                            _run_one,
-                            [self.mechanism] * len(instances),
+                            _run_one_guarded,
+                            [self.mechanism] * n,
                             instances,
                             seeds,
-                            [collect] * len(instances),
-                            chunksize=max(1, len(instances) // (4 * workers) or 1),
+                            [collect] * n,
+                            [fault_plan] * n,
+                            range(n),
+                            chunksize=max(1, n // (4 * workers) or 1),
                         )
                     )
+            outcomes, snapshots, failed = self._settle(
+                triples, instances, seeds, retry, fault_plan, collect, sink
+            )
         wall = time.perf_counter() - start
-        outcomes = [outcome for outcome, _ in pairs]
         if collect:
-            for _, snapshot in pairs:
+            for snapshot in snapshots:
                 if snapshot is not None:
                     sink.merge_snapshot(snapshot)
-            sink.count("batch.instances", len(instances))
+            sink.count("batch.instances", n)
         return BatchRunResult(
             outcomes=tuple(outcomes),
             backend=backend,
             max_workers=workers,
             wall_time=wall,
+            failed=tuple(failed),
         )
+
+    def _settle(
+        self,
+        triples: list,
+        instances: list,
+        seeds: list,
+        retry: RetryPolicy | None,
+        fault_plan: FaultPlan | None,
+        collect: bool,
+        sink: Recorder,
+    ) -> tuple[list, list, list]:
+        """Retry transient failures and quarantine permanent ones.
+
+        Runs in the parent, in input order, for serial and pooled
+        backends alike — which keeps the ``resilience.*`` event stream
+        (and therefore merged metrics) backend-independent.  Retries
+        re-invoke the instance with its original seed; the backoff
+        schedule comes from the seed's reserved retry side-stream, so
+        timing jitter can never perturb an outcome.
+        """
+        outcomes: list = []
+        snapshots: list = []
+        failed: list = []
+        for i, (outcome, snapshot, error) in enumerate(triples):
+            attempt = 0
+            delays: tuple[float, ...] = ()
+            if error is not None and retry is not None:
+                delays = retry.delays(retry_stream(seeds[i]))
+            while error is not None:
+                sink.count("resilience.failures")
+                if not (is_transient(error) and attempt < len(delays)):
+                    break
+                sink.count("resilience.retries")
+                delay = delays[attempt]
+                attempt += 1
+                with sink.span(
+                    "retry",
+                    f"batch.retry.{self.mechanism.name}",
+                    index=i,
+                    attempt=attempt,
+                    delay=delay,
+                ):
+                    self._sleep(delay)
+                outcome, snapshot, error = _run_one_guarded(
+                    self.mechanism, instances[i], seeds[i], collect, fault_plan, i, attempt
+                )
+            if error is not None:
+                wrapped = InstanceExecutionError(i, seeds[i], error, attempts=attempt + 1)
+                if self.on_error == "raise":
+                    raise wrapped from error
+                logger.warning("quarantining batch instance: %s", wrapped)
+                sink.count("resilience.quarantined")
+                failed.append(wrapped)
+                outcomes.append(None)
+                snapshots.append(None)
+            else:
+                if attempt:
+                    sink.count("resilience.recovered")
+                outcomes.append(outcome)
+                snapshots.append(snapshot)
+        return outcomes, snapshots, failed

@@ -19,6 +19,18 @@ Observability (see docs/OBSERVABILITY.md)::
 ``--trace``/``--metrics`` install a :class:`repro.obs.MetricsRecorder`
 around the experiment runs; instrumentation is outcome-invariant, so the
 printed series are bit-identical with and without it.
+
+Resilience (see docs/RESILIENCE.md)::
+
+    python -m repro figure4 --fast --max-retries 3      # retry transient failures
+    python -m repro figure4 --fast --resume ckpt/       # checkpoint + resume sweeps
+    python -m repro figure4 --fast --fault-plan transient@0:1 --max-retries 2
+
+``--max-retries``/``--resume``/``--fault-plan`` install an ambient
+:class:`repro.resilience.ResilienceConfig` around the experiment runs.
+Retries and resumes replay each unit's original seed, so recovered and
+resumed series are bit-identical to an uninterrupted run; a permanent
+instance failure exits with code 3.
 """
 
 from __future__ import annotations
@@ -126,6 +138,36 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the ASCII metrics/ledger summary after the experiments",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "retry transient instance/point failures up to N times on a "
+            "deterministic exponential-backoff schedule (retries reuse the "
+            "unit's original seed, so recovered results are bit-identical)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help=(
+            "checkpoint sweep progress into DIR and skip work already "
+            "recorded there, so a killed run resumes bit-identically"
+        ),
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject seeded faults for chaos testing, e.g. "
+            "'crash@2,transient@5:2' (kinds: crash, timeout, transient, "
+            "poison; see docs/RESILIENCE.md)"
+        ),
+    )
     return parser
 
 
@@ -150,14 +192,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.output is not None and len(names) != 1:
         print("error: --output requires a single experiment", file=sys.stderr)
         return 2
+    from repro.exceptions import InstanceExecutionError
     from repro.experiments.export import render
     from repro.obs import NULL_RECORDER, MetricsRecorder, use_recorder
+    from repro.resilience import FaultPlan, ResilienceConfig, RetryPolicy, use_resilience
 
     recorder = (
         MetricsRecorder() if (args.trace is not None or args.metrics) else NULL_RECORDER
     )
     try:
-        with use_recorder(recorder):
+        retry = None
+        if args.max_retries is not None:
+            retry = RetryPolicy(max_retries=args.max_retries)
+        fault_plan = None if args.fault_plan is None else FaultPlan.parse(args.fault_plan)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    resilience = ResilienceConfig(
+        retry=retry, fault_plan=fault_plan, checkpoint_dir=args.resume
+    )
+    try:
+        with use_recorder(recorder), use_resilience(resilience):
             for name in names:
                 with recorder.span("experiment", name, fast=args.fast, seed=args.seed):
                     result = run_experiment(name, fast=args.fast, seed=args.seed)
@@ -176,6 +231,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                 else:
                     print(text)
                     print()
+    except InstanceExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if args.resume is not None:
+            print(
+                f"hint: completed work is checkpointed under {args.resume}; "
+                "re-run the same command to resume",
+                file=sys.stderr,
+            )
+        return 3
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

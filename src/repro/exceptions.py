@@ -16,6 +16,9 @@ __all__ = [
     "SolverError",
     "ConvergenceError",
     "BudgetExceededError",
+    "TransientError",
+    "InstanceExecutionError",
+    "CheckpointError",
 ]
 
 
@@ -58,4 +61,75 @@ class BudgetExceededError(ReproError):
     Raised by :class:`repro.obs.PrivacyLedger` when recording a draw (or
     asserting after the fact) shows the pure-DP composition of all
     recorded expenditures past the configured total budget.
+    """
+
+
+class TransientError(ReproError):
+    """Marker base for failures that are safe to retry.
+
+    The resilience layer (:mod:`repro.resilience`) retries an instance
+    only when the failure derives from this class — a transient failure
+    is one where re-running the *same* work with the *same* seed can
+    legitimately succeed (a flaky worker process, a simulated timeout).
+    Everything else is treated as permanent and quarantined.
+    """
+
+
+class InstanceExecutionError(ReproError):
+    """One batch/sweep unit failed; carries the unit's index, seed, and cause.
+
+    Raised by the batch/sweep execution paths instead of letting worker
+    exceptions propagate raw, so callers (and quarantine reports) can
+    always identify *which* instance failed and replay it from its
+    :class:`numpy.random.SeedSequence`.
+
+    Attributes
+    ----------
+    index:
+        Position of the failing unit in the batch/sweep input order.
+    seed:
+        The unit's :class:`numpy.random.SeedSequence` (or ``None`` when
+        the unit was unseeded).
+    cause:
+        The underlying exception raised by the unit.
+    attempts:
+        How many attempts (1 + retries) were made before giving up.
+    """
+
+    def __init__(self, index, seed, cause, attempts: int = 1) -> None:
+        self.index = int(index)
+        self.seed = seed
+        self.cause = cause
+        self.attempts = int(attempts)
+        key = self.seed_key
+        where = f"seed spawn_key={key}" if key is not None else "unseeded"
+        super().__init__(
+            f"instance {self.index} ({where}) failed after "
+            f"{self.attempts} attempt(s): {type(cause).__name__}: {cause}"
+        )
+
+    def __reduce__(self):
+        """Preserve the typed fields across pickling (process-pool transit)."""
+        return (type(self), (self.index, self.seed, self.cause, self.attempts))
+
+    @property
+    def seed_key(self) -> tuple[int, ...] | None:
+        """The seed's spawn key (position-stable identity), when seeded."""
+        spawn_key = getattr(self.seed, "spawn_key", None)
+        if spawn_key is None:
+            return None
+        return tuple(int(k) for k in spawn_key)
+
+    @property
+    def retryable(self) -> bool:
+        """Whether the underlying cause is a :class:`TransientError`."""
+        return isinstance(self.cause, TransientError)
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint file is unreadable or inconsistent with the run.
+
+    Raised by :class:`repro.resilience.SweepCheckpoint` on schema
+    mismatches, mid-file corruption, or a resume whose run context
+    (experiment, master seed) contradicts the checkpoint header.
     """

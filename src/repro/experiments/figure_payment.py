@@ -10,19 +10,55 @@ drivers mirror that with an ``include_optimal`` switch.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
 from repro.auction.mechanism import Mechanism
-from repro.experiments.runner import ExperimentResult, payment_sweep_point
+from repro.experiments.runner import (
+    ExperimentResult,
+    decode_payment_stats,
+    encode_payment_stats,
+    payment_sweep_point,
+)
 from repro.mechanisms.baseline import BaselineAuction
 from repro.mechanisms.dp_hsrc import DPHSRCAuction
 from repro.mechanisms.optimal import OptimalSinglePriceMechanism
-from repro.utils.rng import ensure_rng
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.context import current_resilience
+from repro.resilience.executor import ResilientExecutor
+from repro.utils.rng import ensure_rng, generator_seed_sequence
 from repro.workloads.settings import SimulationSetting
 
 __all__ = ["run_payment_figure"]
+
+
+def _figure_executor(name: str, seed: int, n_price_samples: int) -> ResilientExecutor | None:
+    """The rep-unit executor for an ambient resilience config, if any.
+
+    Returns ``None`` when resilience is off, in which case the driver
+    takes its original direct path — byte-for-byte identical behavior,
+    traces included.  Each (sweep point, repetition) pair is one
+    resilience unit: it retries with its own seed, checkpoints under its
+    own fingerprint, and resumes independently.
+    """
+    ambient = current_resilience()
+    if not ambient.enabled:
+        return None
+    checkpoint = None
+    if ambient.checkpoint_dir is not None:
+        checkpoint = SweepCheckpoint(
+            Path(ambient.checkpoint_dir) / f"{name}-seed{int(seed)}.jsonl",
+            context={
+                "experiment": name,
+                "seed": int(seed),
+                "n_price_samples": int(n_price_samples),
+            },
+        )
+    return ResilientExecutor(
+        retry=ambient.retry, fault_plan=ambient.fault_plan, checkpoint=checkpoint
+    )
 
 
 def run_payment_figure(
@@ -86,19 +122,44 @@ def run_payment_figure(
         raise ValueError(f"n_repetitions must be positive, got {n_repetitions}")
     rng = ensure_rng(seed)
     point_rngs = rng.spawn(len(sweep_values))
+    executor = _figure_executor(name, seed, n_price_samples)
+    unit = 0
     rows = []
     for value, point_rng in zip(sweep_values, point_rngs):
         kwargs = {"n_workers": int(value)} if sweep_axis == "workers" else {"n_tasks": int(value)}
-        rep_stats = [
-            payment_sweep_point(
-                setting,
-                mechanisms,
-                n_price_samples=n_price_samples,
-                seed=rep_rng,
-                **kwargs,
-            )
-            for rep_rng in point_rng.spawn(n_repetitions)
-        ]
+        rep_stats = []
+        for rep_rng in point_rng.spawn(n_repetitions):
+            if executor is None:
+                rep_stats.append(
+                    payment_sweep_point(
+                        setting,
+                        mechanisms,
+                        n_price_samples=n_price_samples,
+                        seed=rep_rng,
+                        **kwargs,
+                    )
+                )
+            else:
+                # A spawned, unconsumed Generator is exactly its
+                # SeedSequence replayed, so the resilient unit re-runs
+                # (and resumes) bit-identically to the direct path.
+                unit_seed = generator_seed_sequence(rep_rng)
+                rep_stats.append(
+                    executor.run_unit(
+                        unit,
+                        unit_seed,
+                        lambda s=unit_seed: payment_sweep_point(
+                            setting,
+                            mechanisms,
+                            n_price_samples=n_price_samples,
+                            seed=np.random.default_rng(s),
+                            **kwargs,
+                        ),
+                        encode=encode_payment_stats,
+                        decode=decode_payment_stats,
+                    )
+                )
+            unit += 1
         row: list = [int(value)]
         for mech in mechanisms:
             means = [stats[mech].mean for stats in rep_stats]

@@ -12,21 +12,35 @@ and standard deviation of the platform's total payment.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence, Union
+from pathlib import Path
+from typing import Callable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.analysis.payment import PaymentStats, sampled_payment_stats
 from repro.auction.mechanism import Mechanism
+from repro.exceptions import InstanceExecutionError
 from repro.obs import MetricsRecorder, Recorder, current_recorder, use_recorder
-from repro.utils.rng import RngLike, ensure_rng, spawn_seed_sequences
+from repro.resilience.checkpoint import SweepCheckpoint, seed_fingerprint
+from repro.resilience.context import current_resilience
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import RetryPolicy, is_transient, retry_stream
+from repro.utils.rng import RngLike, ensure_rng, ensure_seed_sequence
 from repro.utils.tables import render_table
 from repro.workloads.generator import generate_instance
 from repro.workloads.settings import SimulationSetting
 
-__all__ = ["ExperimentResult", "payment_sweep_point", "payment_sweep"]
+__all__ = [
+    "ExperimentResult",
+    "payment_sweep_point",
+    "payment_sweep",
+    "sweep_checkpoint",
+    "encode_payment_stats",
+    "decode_payment_stats",
+]
 
 
 @dataclass(frozen=True)
@@ -126,14 +140,33 @@ def payment_sweep_point(
     return results
 
 
-def _sweep_point_task(args) -> tuple[dict[str, PaymentStats], dict | None]:
-    """Unpack-and-run helper; module-level so it pickles for a pool.
+def _sweep_point_safe(
+    args,
+) -> tuple[Optional[dict[str, PaymentStats]], Optional[dict], Optional[Exception]]:
+    """Guarded unpack-and-run helper; module-level so it pickles for a pool.
 
-    Returns the point's statistics plus — when metrics collection is on —
-    the picklable snapshot of a fresh per-point recorder, so the serial
+    Returns ``(stats, snapshot, error)`` with exactly one of
+    ``stats``/``error`` set — pool workers must never raise out of
+    ``pool.map``, or every other point's finished work would be lost.
+    The snapshot is the picklable state of a fresh per-point recorder
+    (``None`` when collection is off or the point failed), so the serial
     and pooled paths merge identical metrics (see :func:`payment_sweep`).
+    A planned fault for ``(index, attempt)`` is injected before the point
+    runs; poison surfaces as an immediate error because a statistics dict
+    has no outcome to corrupt.
     """
-    setting, mechanisms, n_workers, n_tasks, n_price_samples, child_seed, collect = args
+    (
+        setting,
+        mechanisms,
+        n_workers,
+        n_tasks,
+        n_price_samples,
+        child_seed,
+        collect,
+        fault_plan,
+        index,
+        attempt,
+    ) = args
 
     def evaluate() -> dict[str, PaymentStats]:
         return payment_sweep_point(
@@ -145,12 +178,69 @@ def _sweep_point_task(args) -> tuple[dict[str, PaymentStats], dict | None]:
             seed=np.random.default_rng(child_seed),
         )
 
-    if not collect:
-        return evaluate(), None
-    local = MetricsRecorder()
-    with use_recorder(local):
-        stats = evaluate()
-    return stats, local.snapshot()
+    try:
+        if fault_plan is not None:
+            fault_plan.raise_if_planned(index, attempt, poison_as_error=True)
+        if not collect:
+            return evaluate(), None, None
+        local = MetricsRecorder()
+        with use_recorder(local):
+            stats = evaluate()
+        return stats, local.snapshot(), None
+    except Exception as exc:  # noqa: BLE001 - the whole point is containment
+        return None, None, exc
+
+
+def encode_payment_stats(stats: Mapping[str, PaymentStats]) -> dict:
+    """Encode one sweep point's ``{name: PaymentStats}`` as a JSON object.
+
+    The checkpoint payload format: floats survive the ``repr``-based JSON
+    round-trip bit-exactly, which is what makes a resumed sweep identical
+    to an uninterrupted one.
+    """
+    return {
+        name: {"mean": s.mean, "std": s.std, "n_samples": s.n_samples}
+        for name, s in stats.items()
+    }
+
+
+def decode_payment_stats(payload: Mapping) -> dict[str, PaymentStats]:
+    """Inverse of :func:`encode_payment_stats`."""
+    return {
+        name: PaymentStats(
+            mean=float(v["mean"]), std=float(v["std"]), n_samples=int(v["n_samples"])
+        )
+        for name, v in payload.items()
+    }
+
+
+def sweep_checkpoint(
+    directory: Union[str, Path],
+    seed: Union[RngLike, np.random.SeedSequence],
+    *,
+    n_points: int,
+    n_price_samples: int,
+) -> SweepCheckpoint:
+    """The canonical checkpoint for one :func:`payment_sweep` invocation.
+
+    The file name embeds the master seed's fingerprint, so sweeps with
+    different masters never collide in one ``checkpoint_dir``; the meta
+    header pins the master fingerprint, point count, and sample count, so
+    a checkpoint can never silently resume a different sweep.
+    """
+    master = ensure_seed_sequence(seed)
+    fingerprint = seed_fingerprint(master)
+    safe = fingerprint.replace(":", "_").replace(",", "-").replace("+", "-")
+    path = Path(directory) / f"payment_sweep-{safe}-p{int(n_points)}.jsonl"
+    return SweepCheckpoint(
+        path,
+        context={
+            "sweep": "payment_sweep",
+            "master": fingerprint,
+            "n_points": int(n_points),
+            "n_price_samples": int(n_price_samples),
+        },
+    )
 
 
 def payment_sweep(
@@ -162,19 +252,34 @@ def payment_sweep(
     seed: Union[RngLike, np.random.SeedSequence] = None,
     max_workers: int | None = None,
     recorder: Recorder | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    checkpoint: SweepCheckpoint | None = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> list[dict[str, PaymentStats]]:
     """Evaluate a whole Figure 1–4 sweep, optionally on a process pool.
 
-    Each sweep point gets child ``i`` of the master ``seed`` via
-    :func:`repro.utils.rng.spawn_seed_sequences`, so the parallel and
-    serial paths return *identical* statistics — parallelism only buys
-    wall-clock time, never changes numbers.
+    Each sweep point gets child ``i`` of the master ``seed`` (spawned
+    order-free from its :class:`~numpy.random.SeedSequence`), so the
+    parallel and serial paths return *identical* statistics —
+    parallelism only buys wall-clock time, never changes numbers.
 
     When a metrics ``recorder`` is supplied (or installed as the ambient
     one via :func:`repro.obs.use_recorder`), every point runs under its
     own fresh :class:`~repro.obs.MetricsRecorder` — serially or in the
     pool workers alike — and the per-point snapshots merge into the sink
     in input order, so merged metrics are backend-independent too.
+
+    Resilience: transient point failures are retried in the parent with
+    the point's original child seed on the policy's deterministic
+    backoff schedule; a permanent failure raises
+    :class:`~repro.exceptions.InstanceExecutionError` (the sweep has no
+    quarantine slot — its callers build figure tables that need every
+    point).  With a ``checkpoint``, each completed point is durably
+    appended under its seed fingerprint, already-checkpointed points are
+    skipped on the next run, and the merged results — statistics,
+    metrics, and privacy-ledger trail — are bit-identical to an
+    uninterrupted sweep.
 
     Parameters
     ----------
@@ -196,6 +301,20 @@ def payment_sweep(
         points out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
     recorder:
         Observability sink; defaults to the ambient recorder.
+    retry:
+        Backoff policy for transient point failures; ``None`` falls back
+        to the ambient :func:`~repro.resilience.current_resilience`
+        config (off by default).
+    fault_plan:
+        Seeded chaos schedule keyed by point index; ``None`` falls back
+        to the ambient config.  Poison faults surface as immediate
+        errors (a statistics dict has no outcome to corrupt).
+    checkpoint:
+        Explicit checkpoint file; ``None`` falls back to the ambient
+        config's ``checkpoint_dir`` (via :func:`sweep_checkpoint`), and
+        checkpointing is off when that is unset too.
+    sleep:
+        Injection point for the backoff sleep (tests pass a stub).
 
     Returns
     -------
@@ -204,18 +323,79 @@ def payment_sweep(
     """
     sink = current_recorder() if recorder is None else recorder
     collect = isinstance(sink, MetricsRecorder)
-    children = spawn_seed_sequences(seed, len(points))
-    tasks = [
-        (setting, dict(mechanisms), n_workers, n_tasks, n_price_samples, child, collect)
-        for (n_workers, n_tasks), child in zip(points, children)
-    ]
+    ambient = current_resilience()
+    if retry is None:
+        retry = ambient.retry
+    if fault_plan is None:
+        fault_plan = ambient.fault_plan
+    master = ensure_seed_sequence(seed)
+    children = master.spawn(len(points))
+    if checkpoint is None and ambient.checkpoint_dir is not None:
+        checkpoint = sweep_checkpoint(
+            ambient.checkpoint_dir,
+            master,
+            n_points=len(points),
+            n_price_samples=n_price_samples,
+        )
+    cached = checkpoint.load() if checkpoint is not None else {}
+    keys = [seed_fingerprint(child) for child in children]
+    pending = [i for i in range(len(points)) if keys[i] not in cached]
+    tasks = {
+        i: (
+            setting,
+            dict(mechanisms),
+            points[i][0],
+            points[i][1],
+            n_price_samples,
+            children[i],
+            collect,
+            fault_plan,
+            i,
+            0,
+        )
+        for i in pending
+    }
     if max_workers is None or max_workers <= 1:
-        pairs = [_sweep_point_task(task) for task in tasks]
+        triples = {i: _sweep_point_safe(tasks[i]) for i in pending}
     else:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            pairs = list(pool.map(_sweep_point_task, tasks))
-    if collect:
-        for _, snapshot in pairs:
-            if snapshot is not None:
-                sink.merge_snapshot(snapshot)
-    return [stats for stats, _ in pairs]
+            triples = dict(
+                zip(pending, pool.map(_sweep_point_safe, [tasks[i] for i in pending]))
+            )
+    results: list[dict[str, PaymentStats]] = []
+    for i in range(len(points)):
+        if i not in triples:
+            record = cached[keys[i]]
+            sink.count("resilience.checkpoint.hits")
+            if collect and record.get("snapshot"):
+                sink.merge_snapshot(record["snapshot"])
+            results.append(decode_payment_stats(record["payload"]))
+            continue
+        stats, snapshot, error = triples[i]
+        attempt = 0
+        delays: tuple[float, ...] = ()
+        if error is not None and retry is not None:
+            delays = retry.delays(retry_stream(children[i]))
+        while error is not None:
+            sink.count("resilience.failures")
+            if not (is_transient(error) and attempt < len(delays)):
+                break
+            sink.count("resilience.retries")
+            delay = delays[attempt]
+            attempt += 1
+            with sink.span("retry", "sweep.retry", index=i, attempt=attempt, delay=delay):
+                sleep(delay)
+            retry_task = list(tasks[i])
+            retry_task[-1] = attempt
+            stats, snapshot, error = _sweep_point_safe(tuple(retry_task))
+        if error is not None:
+            raise InstanceExecutionError(i, children[i], error, attempts=attempt + 1) from error
+        if attempt:
+            sink.count("resilience.recovered")
+        if checkpoint is not None:
+            checkpoint.append(keys[i], encode_payment_stats(stats), index=i, snapshot=snapshot)
+            sink.count("resilience.checkpoint.writes")
+        if collect and snapshot is not None:
+            sink.merge_snapshot(snapshot)
+        results.append(stats)
+    return results

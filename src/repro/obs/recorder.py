@@ -67,6 +67,7 @@ logger = logging.getLogger("repro.obs")
 #: - ``batch``       — one :class:`~repro.bench.BatchAuctionRunner` batch
 #: - ``sweep_point`` — one payment-sweep evaluation point
 #: - ``experiment``  — one CLI experiment invocation
+#: - ``retry``       — one resilience backoff-and-retry of a failed unit
 SPAN_KINDS = (
     "price_set",
     "greedy_group",
@@ -75,6 +76,7 @@ SPAN_KINDS = (
     "batch",
     "sweep_point",
     "experiment",
+    "retry",
 )
 
 

@@ -1,0 +1,221 @@
+"""JSON-lines checkpoint/resume for long experiment sweeps.
+
+A :class:`SweepCheckpoint` is an append-only JSON-lines file (schema
+``repro-checkpoint/1``): a ``meta`` header identifying the run, then one
+``point`` record per completed work unit, keyed by the unit's seed
+fingerprint (:func:`seed_fingerprint`).  Because units are keyed by
+*seed*, not position-in-file, a killed sweep can be resumed after any
+prefix (including a record truncated mid-write) and the merged results
+are bit-identical to an uninterrupted run: cached units restore their
+exact payloads (floats round-trip exactly through ``repr``-based JSON)
+and their per-unit metrics snapshots, fresh units re-run from their
+original :class:`numpy.random.SeedSequence`.
+
+File layout::
+
+    {"schema": "repro-checkpoint/1", "type": "meta", ...context...}
+    {"type": "point", "key": "<fingerprint>", "index": 0, "payload": ..., "snapshot": ...}
+    ...
+
+Durability: every :meth:`SweepCheckpoint.append` flushes and fsyncs, so
+a kill loses at most the record being written — which :meth:`load`
+tolerates by discarding a torn final line.  Single writer per file is
+assumed (one sweep process owns its checkpoint).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+from typing import Mapping, Union
+
+import numpy as np
+
+from repro.exceptions import CheckpointError
+
+__all__ = ["CHECKPOINT_SCHEMA", "SweepCheckpoint", "seed_fingerprint"]
+
+logger = logging.getLogger("repro.resilience.checkpoint")
+
+#: Current checkpoint schema identifier (first line of every file).
+CHECKPOINT_SCHEMA = "repro-checkpoint/1"
+
+
+def seed_fingerprint(seed: Union[int, np.random.SeedSequence, None]) -> str:
+    """A stable textual identity for a :class:`~numpy.random.SeedSequence`.
+
+    Combines the root entropy with the spawn key, which together
+    determine the stream exactly — two seeds with equal fingerprints
+    yield bit-identical generators, and a child's fingerprint never
+    collides with its siblings'.  Used as the checkpoint record key so a
+    resume matches cached work to sweep units regardless of file order.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> a, b = np.random.SeedSequence(7).spawn(2)
+    >>> seed_fingerprint(a)
+    '7:0'
+    >>> seed_fingerprint(a) != seed_fingerprint(b)
+    True
+    """
+    if not isinstance(seed, np.random.SeedSequence):
+        seed = np.random.SeedSequence(seed)
+    entropy = seed.entropy
+    if isinstance(entropy, (list, tuple)):
+        entropy_text = "+".join(str(int(e)) for e in entropy)
+    else:
+        entropy_text = str(entropy)
+    key_text = ",".join(str(int(k)) for k in seed.spawn_key)
+    return f"{entropy_text}:{key_text}"
+
+
+class SweepCheckpoint:
+    """Append-only, seed-keyed checkpoint file for one sweep.
+
+    Parameters
+    ----------
+    path:
+        The JSON-lines file (created on first :meth:`append`).
+    context:
+        Identifying key/values written into the meta header (experiment
+        name, master-seed fingerprint, point count…).  On :meth:`load`,
+        any context key that is *also* present in the file's header must
+        match, so a checkpoint cannot silently resume a different run.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "sweep.jsonl")
+    >>> ckpt = SweepCheckpoint(path, context={"sweep": "demo"})
+    >>> ckpt.append("7:0", {"mean": 1.5}, index=0)
+    >>> SweepCheckpoint(path, context={"sweep": "demo"}).load()["7:0"]["payload"]
+    {'mean': 1.5}
+    """
+
+    def __init__(self, path, *, context: Mapping | None = None) -> None:
+        self.path = Path(path)
+        self.context = dict(context or {})
+
+    def exists(self) -> bool:
+        """Whether the checkpoint file is already on disk."""
+        return self.path.exists()
+
+    # -- reading --------------------------------------------------------
+
+    def load(self) -> dict[str, dict]:
+        """Read every completed record, keyed by seed fingerprint.
+
+        Returns an empty mapping when the file does not exist.  A torn
+        final line (a kill mid-:meth:`append`) is discarded; corruption
+        anywhere else, a wrong schema, or a header contradicting this
+        checkpoint's ``context`` raises
+        :class:`~repro.exceptions.CheckpointError`.
+        """
+        if not self.path.exists():
+            return {}
+        raw_lines = self.path.read_text(encoding="utf-8").splitlines()
+        lines = [(no, line) for no, line in enumerate(raw_lines, start=1) if line.strip()]
+        records: dict[str, dict] = {}
+        for position, (line_no, line) in enumerate(lines):
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if position == len(lines) - 1:
+                    logger.warning(
+                        "checkpoint %s: discarding torn final line %d", self.path, line_no
+                    )
+                    break
+                raise CheckpointError(
+                    f"checkpoint {self.path} line {line_no}: not valid JSON ({exc})"
+                ) from exc
+            if not isinstance(obj, dict) or "type" not in obj:
+                raise CheckpointError(
+                    f"checkpoint {self.path} line {line_no}: not a typed JSON object"
+                )
+            if position == 0:
+                self._check_header(obj, line_no)
+                continue
+            if obj["type"] == "meta":
+                raise CheckpointError(
+                    f"checkpoint {self.path} line {line_no}: duplicate meta header"
+                )
+            if obj["type"] != "point":
+                raise CheckpointError(
+                    f"checkpoint {self.path} line {line_no}: unknown type {obj['type']!r}"
+                )
+            if "key" not in obj or "payload" not in obj:
+                raise CheckpointError(
+                    f"checkpoint {self.path} line {line_no}: point record missing key/payload"
+                )
+            records[str(obj["key"])] = obj
+        logger.debug("loaded checkpoint %s: %d records", self.path, len(records))
+        return records
+
+    def _check_header(self, obj: dict, line_no: int) -> None:
+        if obj.get("type") != "meta":
+            raise CheckpointError(
+                f"checkpoint {self.path} line {line_no}: first line must be the meta header"
+            )
+        if obj.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"checkpoint {self.path}: unsupported schema {obj.get('schema')!r} "
+                f"(expected {CHECKPOINT_SCHEMA!r})"
+            )
+        for key, value in self.context.items():
+            if key in obj and obj[key] != value:
+                raise CheckpointError(
+                    f"checkpoint {self.path}: header {key}={obj[key]!r} does not match "
+                    f"this run's {key}={value!r} — refusing to resume a different sweep"
+                )
+
+    # -- writing --------------------------------------------------------
+
+    def append(
+        self,
+        key: str,
+        payload,
+        *,
+        index: int | None = None,
+        snapshot: Mapping | None = None,
+    ) -> None:
+        """Durably record one completed unit (flush + fsync).
+
+        Parameters
+        ----------
+        key:
+            The unit's :func:`seed_fingerprint`.
+        payload:
+            JSON-serializable result of the unit.
+        index:
+            The unit's input-order position (informational).
+        snapshot:
+            Optional :meth:`repro.obs.MetricsRecorder.snapshot` of the
+            unit's fresh per-unit recorder, replayed on resume so merged
+            metrics and the privacy-ledger trail match an uninterrupted
+            run exactly.
+        """
+        from repro.obs.recorder import dumps_json
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        new_file = not self.path.exists()
+        record = {
+            "type": "point",
+            "key": str(key),
+            "index": index,
+            "payload": payload,
+            "snapshot": None if snapshot is None else dict(snapshot),
+        }
+        with self.path.open("a", encoding="utf-8") as handle:
+            if new_file:
+                header = {"type": "meta", "schema": CHECKPOINT_SCHEMA}
+                header.update(self.context)
+                handle.write(dumps_json(header) + "\n")
+            handle.write(dumps_json(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SweepCheckpoint(path={str(self.path)!r})"

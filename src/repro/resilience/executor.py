@@ -1,0 +1,176 @@
+"""Serial resilient execution of keyed work units.
+
+:class:`ResilientExecutor` is the reusable glue for serial sweep loops
+(the Figure 1–4 driver): each work unit is identified by its
+:class:`numpy.random.SeedSequence`, and the executor
+
+1. returns the cached result when the unit's seed fingerprint is in the
+   checkpoint (replaying the stored metrics snapshot, so resumed metrics
+   and privacy-ledger trails match an uninterrupted run);
+2. otherwise runs the unit — injecting any planned fault, retrying
+   transient failures on the policy's deterministic backoff schedule
+   with the *same* unit seed (so a recovered unit is bit-identical to a
+   never-faulted one) — and appends the result to the checkpoint;
+3. wraps a permanent failure in
+   :class:`~repro.exceptions.InstanceExecutionError` carrying the unit's
+   index and seed.
+
+Metrics protocol: when the ambient/sink recorder is a
+:class:`~repro.obs.MetricsRecorder`, each unit runs under its own fresh
+recorder and snapshots merge into the sink in call order — the same
+fresh-recorder-per-unit, input-order-merge discipline the batch and
+sweep pools use, which is what makes resumed metrics deterministic.
+Failed attempts' partial snapshots are discarded; only the successful
+attempt contributes.
+
+Parallel paths (:class:`~repro.bench.BatchAuctionRunner`,
+:func:`~repro.experiments.runner.payment_sweep`) implement the same
+semantics inline because their attempt-0 execution happens inside pool
+workers; this executor is the serial counterpart.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import InstanceExecutionError
+from repro.obs import MetricsRecorder, Recorder, current_recorder, use_recorder
+from repro.resilience.checkpoint import SweepCheckpoint, seed_fingerprint
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import NO_RETRY, RetryPolicy, is_transient, retry_stream
+
+__all__ = ["ResilientExecutor"]
+
+
+class ResilientExecutor:
+    """Run keyed units with fault injection, retry, and checkpoint/resume.
+
+    Parameters
+    ----------
+    retry:
+        Backoff policy for transient failures (``None`` = no retries).
+    fault_plan:
+        Chaos schedule keyed by unit index (``None`` injects nothing).
+    checkpoint:
+        Seed-keyed :class:`~repro.resilience.SweepCheckpoint`; completed
+        units are skipped on resume and appended as they finish.
+    recorder:
+        Observability sink; defaults to the ambient
+        :func:`repro.obs.current_recorder`.
+    sleep:
+        Injection point for the backoff sleep (tests pass a stub).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.resilience import FaultPlan, ResilientExecutor, RetryPolicy
+    >>> executor = ResilientExecutor(
+    ...     retry=RetryPolicy(max_retries=1, base_delay=0.0, max_delay=0.0),
+    ...     fault_plan=FaultPlan.parse("transient@0"),
+    ... )
+    >>> seed = np.random.SeedSequence(7)
+    >>> executor.run_unit(0, seed, lambda: 41 + 1)  # fails once, then recovers
+    42
+    """
+
+    def __init__(
+        self,
+        *,
+        retry: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        checkpoint: SweepCheckpoint | None = None,
+        recorder: Recorder | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.retry = retry
+        self.fault_plan = fault_plan
+        self.checkpoint = checkpoint
+        self.recorder = current_recorder() if recorder is None else recorder
+        self.sleep = sleep
+        self._cached = checkpoint.load() if checkpoint is not None else {}
+
+    @property
+    def collect(self) -> bool:
+        """Whether per-unit metrics snapshots are collected and merged."""
+        return isinstance(self.recorder, MetricsRecorder)
+
+    def run_unit(
+        self,
+        index: int,
+        seed: np.random.SeedSequence,
+        fn: Callable[[], object],
+        *,
+        encode: Optional[Callable] = None,
+        decode: Optional[Callable] = None,
+    ):
+        """Execute one unit (or restore it from the checkpoint).
+
+        ``fn`` must be a pure function of the unit's ``seed`` — it is
+        re-invoked verbatim on retry, which is what makes a recovered
+        unit bit-identical to a never-faulted one.  ``encode``/``decode``
+        convert the unit result to/from its JSON checkpoint payload.
+
+        Raises
+        ------
+        InstanceExecutionError
+            On permanent failure or exhausted retries; carries ``index``,
+            ``seed``, the causal exception, and the attempt count.
+        """
+        sink = self.recorder
+        key = seed_fingerprint(seed)
+        cached = self._cached.get(key)
+        if cached is not None:
+            sink.count("resilience.checkpoint.hits")
+            if self.collect and cached.get("snapshot"):
+                sink.merge_snapshot(cached["snapshot"])
+            payload = cached["payload"]
+            return decode(payload) if decode is not None else payload
+
+        delays = ()
+        attempt = 0
+        n_failures = 0
+        while True:
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.raise_if_planned(index, attempt, poison_as_error=True)
+                if self.collect:
+                    local = MetricsRecorder()
+                    with use_recorder(local):
+                        value = fn()
+                    snapshot = local.snapshot()
+                else:
+                    value = fn()
+                    snapshot = None
+                break
+            except Exception as exc:
+                n_failures += 1
+                sink.count("resilience.failures")
+                if attempt == 0 and self.retry is not None:
+                    delays = self.retry.delays(retry_stream(seed))
+                if is_transient(exc) and attempt < len(delays):
+                    sink.count("resilience.retries")
+                    with sink.span(
+                        "retry",
+                        "unit.retry",
+                        index=index,
+                        attempt=attempt + 1,
+                        delay=delays[attempt],
+                    ):
+                        self.sleep(delays[attempt])
+                    attempt += 1
+                    continue
+                raise InstanceExecutionError(index, seed, exc, attempts=attempt + 1) from exc
+
+        if n_failures:
+            sink.count("resilience.recovered")
+        if self.checkpoint is not None:
+            payload = encode(value) if encode is not None else value
+            self.checkpoint.append(key, payload, index=index, snapshot=snapshot)
+            self._cached[key] = {"key": key, "payload": payload, "snapshot": snapshot}
+            sink.count("resilience.checkpoint.writes")
+        if self.collect and snapshot is not None:
+            sink.merge_snapshot(snapshot)
+        return value

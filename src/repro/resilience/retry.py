@@ -1,0 +1,169 @@
+"""Deterministic exponential backoff with jitter, cap, and deadline.
+
+A :class:`RetryPolicy` turns "retry transient failures" into a *fixed,
+seed-determined schedule*: :meth:`RetryPolicy.delays` derives the whole
+jittered backoff sequence from an injected
+:class:`numpy.random.SeedSequence` — never from wall-clock time or the
+global RNG — so a chaos run retries at exactly the same (virtual)
+moments every time, and retried instances replay with their original
+instance seed for bit-identical outcomes.
+
+Schedule construction (per retry ``k``, 0-based):
+
+1. nominal ``min(max_delay, base_delay · multiplier^k)``;
+2. full downward jitter: multiply by ``1 − jitter · u_k`` with
+   ``u_k ~ U[0, 1)`` from the injected seed;
+3. monotonicity: clamp to at least the previous delay (delays never
+   shrink across attempts);
+4. cap: clamp to ``max_delay``;
+5. deadline: truncate the schedule once cumulative sleep would exceed
+   ``deadline``.
+
+The Hypothesis suite (``tests/test_resilience_backoff.py``) pins these
+properties: monotone non-decreasing, bounded by the cap, cumulative sum
+within the deadline, and byte-identical schedules for equal seeds with
+no observable use of global randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import InstanceExecutionError, TransientError, ValidationError
+
+__all__ = ["RetryPolicy", "NO_RETRY", "retry_stream", "is_transient"]
+
+#: Spawn-key suffix reserving a side stream for retry jitter (ASCII "RETR").
+#: Instance child streams use small consecutive spawn keys, so this never
+#: collides with randomness the computation itself consumes.
+_RETRY_STREAM_KEY = 0x52455452
+
+
+def retry_stream(
+    seed: Union[int, np.random.SeedSequence, None],
+) -> np.random.SeedSequence:
+    """Derive the retry-jitter stream for one work unit's seed.
+
+    Builds a sibling :class:`~numpy.random.SeedSequence` under the
+    unit's spawn key (suffix :data:`_RETRY_STREAM_KEY`), so jitter draws
+    are (a) fully determined by the unit's seed and (b) independent of
+    every stream the unit's computation consumes — retry timing can
+    never perturb an outcome.
+    """
+    if not isinstance(seed, np.random.SeedSequence):
+        seed = np.random.SeedSequence(seed)
+    return np.random.SeedSequence(
+        entropy=seed.entropy,
+        spawn_key=tuple(seed.spawn_key) + (_RETRY_STREAM_KEY,),
+    )
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether an exception is safe to retry.
+
+    True for :class:`~repro.exceptions.TransientError` causes, unwrapping
+    one level of :class:`~repro.exceptions.InstanceExecutionError`.
+    """
+    if isinstance(exc, InstanceExecutionError):
+        return exc.retryable
+    return isinstance(exc, TransientError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry budget for transient failures.
+
+    Parameters
+    ----------
+    max_retries:
+        Maximum retries per instance (0 disables retrying).
+    base_delay:
+        Nominal delay before the first retry, in seconds.
+    multiplier:
+        Exponential growth factor per retry (≥ 1).
+    max_delay:
+        Hard cap on any single delay.
+    deadline:
+        Optional cumulative sleep budget; the schedule truncates once the
+        running total would exceed it, so a permanently flaky instance is
+        quarantined within a bounded wall-clock budget.
+    jitter:
+        Fraction of full downward jitter in ``[0, 1]``; 0 makes the
+        schedule exactly the nominal exponential sequence.
+
+    Examples
+    --------
+    >>> policy = RetryPolicy(max_retries=3, base_delay=0.1, jitter=0.0)
+    >>> policy.delays(seed=0)
+    (0.1, 0.2, 0.4)
+    >>> RetryPolicy(max_retries=3, base_delay=0.1, jitter=0.0,
+    ...             deadline=0.25).delays(seed=0)
+    (0.1,)
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    deadline: float | None = None
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if int(self.max_retries) < 0:
+            raise ValidationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not self.base_delay >= 0.0:
+            raise ValidationError(f"base_delay must be >= 0, got {self.base_delay}")
+        if not self.multiplier >= 1.0:
+            raise ValidationError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not self.max_delay >= self.base_delay:
+            raise ValidationError(
+                f"max_delay ({self.max_delay}) must be >= base_delay ({self.base_delay})"
+            )
+        if self.deadline is not None and not self.deadline > 0.0:
+            raise ValidationError(f"deadline must be positive, got {self.deadline}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValidationError(f"jitter must be in [0, 1], got {self.jitter}")
+        object.__setattr__(self, "max_retries", int(self.max_retries))
+        object.__setattr__(self, "base_delay", float(self.base_delay))
+        object.__setattr__(self, "multiplier", float(self.multiplier))
+        object.__setattr__(self, "max_delay", float(self.max_delay))
+        object.__setattr__(
+            self, "deadline", None if self.deadline is None else float(self.deadline)
+        )
+        object.__setattr__(self, "jitter", float(self.jitter))
+
+    def delays(
+        self, seed: Union[int, np.random.SeedSequence, None] = None
+    ) -> tuple[float, ...]:
+        """The full deterministic backoff schedule for one work unit.
+
+        The length of the returned tuple is the unit's effective retry
+        budget: at most ``max_retries``, truncated by ``deadline``.
+        Delays are monotone non-decreasing and bounded by ``max_delay``;
+        the whole sequence is a pure function of ``seed``.
+        """
+        if self.max_retries == 0:
+            return ()
+        if not isinstance(seed, np.random.SeedSequence):
+            seed = np.random.SeedSequence(seed)
+        draws = np.random.default_rng(seed).random(self.max_retries)
+        out: list[float] = []
+        previous = 0.0
+        elapsed = 0.0
+        for k in range(self.max_retries):
+            nominal = min(self.max_delay, self.base_delay * self.multiplier**k)
+            delay = nominal * (1.0 - self.jitter * float(draws[k]))
+            delay = min(max(delay, previous), self.max_delay)
+            if self.deadline is not None and elapsed + delay > self.deadline:
+                break
+            out.append(delay)
+            previous = delay
+            elapsed += delay
+        return tuple(out)
+
+
+#: The do-not-retry policy (every failure is final on the first attempt).
+NO_RETRY = RetryPolicy(max_retries=0)

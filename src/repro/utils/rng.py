@@ -15,7 +15,14 @@ from typing import Union
 
 import numpy as np
 
-__all__ = ["RngLike", "ensure_rng", "spawn_rngs", "spawn_seed_sequences"]
+__all__ = [
+    "RngLike",
+    "ensure_rng",
+    "ensure_seed_sequence",
+    "generator_seed_sequence",
+    "spawn_rngs",
+    "spawn_seed_sequences",
+]
 
 RngLike = Union[None, int, np.random.Generator]
 """Anything accepted where a source of randomness is expected."""
@@ -68,6 +75,39 @@ def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
     return ensure_rng(seed).spawn(count)
 
 
+def generator_seed_sequence(rng: np.random.Generator) -> np.random.SeedSequence:
+    """The :class:`~numpy.random.SeedSequence` a *fresh* generator was built from.
+
+    For a generator that has not yet consumed randomness,
+    ``np.random.default_rng(generator_seed_sequence(rng))`` produces a
+    bit-identical stream — which gives legacy :meth:`Generator.spawn
+    <numpy.random.Generator.spawn>`-derived code a stable, picklable
+    *identity* for each child (usable as a checkpoint key or retry-stream
+    root) without changing a single draw.
+
+    Raises
+    ------
+    TypeError
+        When the generator's bit generator does not expose its seed
+        sequence (all numpy built-in bit generators do).
+
+    Examples
+    --------
+    >>> parent = np.random.default_rng(7)
+    >>> child = parent.spawn(1)[0]
+    >>> replay = np.random.default_rng(generator_seed_sequence(child))
+    >>> float(child.random()) == float(replay.random())
+    True
+    """
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if not isinstance(seed_seq, np.random.SeedSequence):
+        raise TypeError(
+            "generator's bit generator does not expose a numpy SeedSequence "
+            f"(got {type(seed_seq).__name__})"
+        )
+    return seed_seq
+
+
 def spawn_seed_sequences(
     seed: Union[RngLike, np.random.SeedSequence], count: int
 ) -> list[np.random.SeedSequence]:
@@ -102,13 +142,34 @@ def spawn_seed_sequences(
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
+    return ensure_seed_sequence(seed).spawn(count)
+
+
+def ensure_seed_sequence(
+    seed: Union[RngLike, np.random.SeedSequence],
+) -> np.random.SeedSequence:
+    """Normalize a master seed to a :class:`numpy.random.SeedSequence`.
+
+    Accepts ``None`` (fresh OS entropy), an ``int``, or an existing
+    ``SeedSequence`` (returned unchanged).  A ``Generator`` is rejected
+    for the same reason as in :func:`spawn_seed_sequences`: its children
+    would depend on consumption order, silently breaking order-free
+    reproducibility (and the seed-keyed checkpoint identities built on
+    top of it).
+
+    Examples
+    --------
+    >>> ensure_seed_sequence(7).entropy
+    7
+    >>> ss = np.random.SeedSequence(7)
+    >>> ensure_seed_sequence(ss) is ss
+    True
+    """
     if isinstance(seed, np.random.SeedSequence):
-        base = seed
-    elif seed is None or isinstance(seed, (int, np.integer)):
-        base = np.random.SeedSequence(seed)
-    else:
-        raise TypeError(
-            "seed must be None, an int, or a numpy SeedSequence for "
-            f"order-free spawning, got {type(seed).__name__}"
-        )
-    return base.spawn(count)
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.SeedSequence(seed)
+    raise TypeError(
+        "seed must be None, an int, or a numpy SeedSequence for "
+        f"order-free spawning, got {type(seed).__name__}"
+    )

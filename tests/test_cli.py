@@ -67,6 +67,37 @@ class TestObservabilityFlags:
         assert "Span time by kind" in out
         assert "Privacy ledger" in out
 
+    def test_resilience_flags_install_the_ambient_config(self, capsys, tmp_path):
+        """--max-retries/--resume/--fault-plan reach the experiment scope.
+
+        A plan targeting index 99 injects nothing into table1, so this
+        verifies the plumbing end-to-end without a chaos run (the chaos
+        round trip is CI's chaos-smoke job and the resilience suites).
+        """
+        assert (
+            main(
+                [
+                    "table1",
+                    "--fault-plan",
+                    "transient@99:1",
+                    "--max-retries",
+                    "2",
+                    "--resume",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "Table I" in capsys.readouterr().out
+
+    def test_malformed_fault_plan_exits_2(self, capsys):
+        assert main(["table1", "--fault-plan", "explode@oops"]) == 2
+        assert "fault" in capsys.readouterr().err
+
+    def test_negative_max_retries_exits_2(self, capsys):
+        assert main(["table1", "--max-retries", "-3"]) == 2
+        assert "max_retries" in capsys.readouterr().err
+
     def test_verbose_flag_configures_repro_logging(self):
         import logging
 

@@ -1,13 +1,19 @@
 """Tests for the exception hierarchy contract."""
 
+import pickle
+
+import numpy as np
 import pytest
 
 from repro.exceptions import (
+    CheckpointError,
     ConvergenceError,
     EmptyPriceSetError,
     InfeasibleError,
+    InstanceExecutionError,
     ReproError,
     SolverError,
+    TransientError,
     ValidationError,
 )
 
@@ -34,8 +40,6 @@ class TestHierarchy:
 
     def test_library_raises_through_the_hierarchy(self):
         """End-to-end: a real library failure is catchable as ReproError."""
-        import numpy as np
-
         from repro.coverage.greedy import greedy_cover
         from repro.coverage.problem import CoverProblem
 
@@ -44,3 +48,47 @@ class TestHierarchy:
         )
         with pytest.raises(ReproError):
             greedy_cover(problem)
+
+    @pytest.mark.parametrize("exc_cls", [TransientError, CheckpointError, InstanceExecutionError])
+    def test_resilience_errors_are_repro_errors(self, exc_cls):
+        """The resilience additions stay inside the single hierarchy."""
+        assert issubclass(exc_cls, ReproError)
+
+
+class TestInstanceExecutionError:
+    def _make(self) -> InstanceExecutionError:
+        seed = np.random.SeedSequence(7).spawn(3)[2]
+        return InstanceExecutionError(2, seed, RuntimeError("boom"), attempts=3)
+
+    def test_carries_index_seed_cause_attempts(self):
+        err = self._make()
+        assert err.index == 2
+        assert err.seed_key == (2,)
+        assert isinstance(err.cause, RuntimeError)
+        assert err.attempts == 3
+        assert "instance 2" in str(err) and "3 attempt(s)" in str(err)
+
+    def test_retryable_follows_the_cause(self):
+        """Only TransientError causes mark the wrapper as retryable."""
+
+        class Flaky(TransientError):
+            pass
+
+        seed = np.random.SeedSequence(0)
+        assert InstanceExecutionError(0, seed, Flaky("x")).retryable
+        assert not InstanceExecutionError(0, seed, RuntimeError("x")).retryable
+
+    def test_pickle_round_trip(self):
+        """Must survive the pool boundary with its payload intact."""
+        err = self._make()
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.index == err.index
+        assert clone.seed_key == err.seed_key
+        assert clone.attempts == err.attempts
+        assert type(clone.cause) is RuntimeError
+        assert str(clone) == str(err)
+
+    def test_unseeded_message(self):
+        """A None seed renders without a spawn key instead of crashing."""
+        err = InstanceExecutionError(0, None, RuntimeError("boom"))
+        assert "unseeded" in str(err)

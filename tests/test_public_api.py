@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.bench",
     "repro.obs",
+    "repro.resilience",
     "repro.utils",
 ]
 

@@ -1,0 +1,140 @@
+"""Property-based tests of the deterministic backoff schedule (hypothesis).
+
+The schedule contract (docs/RESILIENCE.md): for any valid policy and any
+seed, :meth:`RetryPolicy.delays` is monotone non-decreasing, bounded by
+the cap, truncated by the deadline, no longer than the retry budget, a
+pure function of the injected :class:`numpy.random.SeedSequence`, and
+computed without touching wall-clock time or any global RNG state.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.resilience import NO_RETRY, RetryPolicy, retry_stream
+
+
+@st.composite
+def policies(draw):
+    base = draw(st.floats(0.0, 1.0))
+    return RetryPolicy(
+        max_retries=draw(st.integers(0, 8)),
+        base_delay=base,
+        multiplier=draw(st.floats(1.0, 4.0)),
+        max_delay=base + draw(st.floats(0.0, 3.0)),
+        deadline=draw(st.one_of(st.none(), st.floats(0.001, 10.0))),
+        jitter=draw(st.floats(0.0, 1.0)),
+    )
+
+
+seeds = st.integers(0, 2**63 - 1)
+
+
+class TestScheduleProperties:
+    @given(policy=policies(), seed=seeds)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_bounded_and_budgeted(self, policy, seed):
+        delays = policy.delays(seed)
+        assert len(delays) <= policy.max_retries
+        assert all(d >= 0.0 for d in delays)
+        assert all(d <= policy.max_delay + 1e-12 for d in delays)
+        assert all(a <= b for a, b in zip(delays, delays[1:]))
+        if policy.deadline is not None:
+            assert sum(delays) <= policy.deadline + 1e-12
+
+    @given(policy=policies(), seed=seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_schedule_is_a_pure_function_of_the_seed(self, policy, seed):
+        a = policy.delays(np.random.SeedSequence(seed))
+        b = policy.delays(np.random.SeedSequence(seed))
+        assert a == b
+
+    @given(policy=policies(), seed=seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_no_global_rng_or_wallclock_dependence(self, policy, seed):
+        """Jitter comes only from the injected SeedSequence."""
+        py_state = random.getstate()
+        np_state = np.random.get_state()
+        first = policy.delays(seed)
+        random.seed(0xBAD)
+        np.random.seed(0xBAD)
+        second = policy.delays(seed)
+        assert first == second
+        # delays() must not have consumed or reseeded the globals itself:
+        random.setstate(py_state)
+        np.random.set_state(np_state)
+        assert policy.delays(seed) == first
+
+    @given(seed=seeds, retries=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_zero_jitter_is_exact_exponential(self, seed, retries):
+        policy = RetryPolicy(
+            max_retries=retries, base_delay=0.1, multiplier=2.0, max_delay=100.0, jitter=0.0
+        )
+        expected = tuple(0.1 * 2.0**k for k in range(retries))
+        assert policy.delays(seed) == expected
+
+    @given(policy=policies())
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_unit_seeds_via_retry_stream(self, policy):
+        """Sibling units draw jitter from distinct reserved streams."""
+        children = np.random.SeedSequence(7).spawn(4)
+        streams = [retry_stream(child) for child in children]
+        assert len({s.spawn_key for s in streams}) == len(streams)
+        for child, stream in zip(children, streams):
+            assert stream.spawn_key[: len(child.spawn_key)] == tuple(child.spawn_key)
+
+
+class TestRetryStreamIsolation:
+    def test_retry_stream_never_collides_with_instance_children(self):
+        """The reserved suffix cannot equal any small consecutive spawn key."""
+        master = np.random.SeedSequence(42)
+        children = master.spawn(1000)
+        reserved = retry_stream(master).spawn_key
+        assert reserved not in {child.spawn_key for child in children}
+
+    def test_retry_stream_is_deterministic(self):
+        child = np.random.SeedSequence(42).spawn(3)[1]
+        a = np.random.default_rng(retry_stream(child)).random(4)
+        b = np.random.default_rng(retry_stream(child)).random(4)
+        assert np.array_equal(a, b)
+
+    def test_retry_draws_differ_from_instance_draws(self):
+        """Jitter never replays the randomness the instance consumes."""
+        child = np.random.SeedSequence(42).spawn(3)[1]
+        instance_draws = np.random.default_rng(child).random(4)
+        jitter_draws = np.random.default_rng(retry_stream(child)).random(4)
+        assert not np.array_equal(instance_draws, jitter_draws)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"base_delay": -0.1},
+            {"multiplier": 0.5},
+            {"base_delay": 1.0, "max_delay": 0.5},
+            {"deadline": 0.0},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            RetryPolicy(**kwargs)
+
+    def test_no_retry_is_empty(self):
+        assert NO_RETRY.delays(0) == ()
+        assert NO_RETRY.max_retries == 0
+
+    def test_deadline_truncates_not_clips(self):
+        """The first over-deadline delay is dropped, not shortened."""
+        policy = RetryPolicy(
+            max_retries=3, base_delay=0.1, multiplier=2.0, max_delay=2.0,
+            deadline=0.25, jitter=0.0,
+        )
+        assert policy.delays(0) == (0.1,)
