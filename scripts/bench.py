@@ -59,6 +59,8 @@ from repro.coverage.reference import (  # noqa: E402
     reference_greedy_cover,
     reference_static_order_cover,
 )
+from repro.engine import SweepEngine, use_engine  # noqa: E402
+from repro.mechanisms.baseline import BaselineAuction  # noqa: E402
 from repro.mechanisms.dp_hsrc import DPHSRCAuction  # noqa: E402
 from repro.obs import MetricsRecorder, use_recorder  # noqa: E402
 
@@ -210,6 +212,76 @@ def bench_price_pmf(smoke: bool, repeats: int, trace: MetricsRecorder) -> list[d
     return results
 
 
+def bench_multi_mechanism(smoke: bool, repeats: int, trace: MetricsRecorder) -> list[dict]:
+    """N mechanisms on one instance: pass-through vs shared SweepEngine.
+
+    The head-to-head experiment shape (three ε values of DP-hSRC plus the
+    §VII-A baseline evaluating one instance) is exactly what the plan
+    cache exists for: the three DP auctions share one greedy sweep plan
+    and the baseline reuses its price grouping.  Timed both ways; the
+    PMFs are asserted bit-identical, so the speedup is pure reuse.
+    """
+    n_workers, n_tasks = (60, 10) if smoke else (300, 25)
+    [instance] = seeded_auction_batch(
+        1, n_workers=n_workers, n_tasks=n_tasks, seed=WORKLOAD_SEED
+    )
+    mechanisms = [
+        DPHSRCAuction(epsilon=0.1),
+        DPHSRCAuction(epsilon=0.5),
+        DPHSRCAuction(epsilon=BENCH_SETTING.epsilon),
+        BaselineAuction(epsilon=BENCH_SETTING.epsilon),
+    ]
+
+    def run_all():
+        return [m.price_pmf(instance) for m in mechanisms]
+
+    def run_all_shared():
+        with use_engine(SweepEngine()):
+            return run_all()
+
+    plain_s, plain_pmfs = best_of(run_all, repeats)
+    shared_s, shared_pmfs = best_of(run_all_shared, repeats)
+    for a, b in zip(plain_pmfs, shared_pmfs):
+        if not (
+            np.array_equal(a.probabilities, b.probabilities)
+            and all(np.array_equal(x, y) for x, y in zip(a.winner_sets, b.winner_sets))
+        ):
+            raise AssertionError("shared-engine PMFs diverged from pass-through")
+    # Instrumented shared pass outside the timing loop: cache accounting
+    # for the v2 metrics block (3 greedy-plan sharers → 2 plan hits).
+    recorder = MetricsRecorder()
+    with use_recorder(recorder):
+        obs_pmfs = run_all_shared()
+    for a, b in zip(plain_pmfs, obs_pmfs):
+        if not np.array_equal(a.probabilities, b.probabilities):
+            raise AssertionError("multi-mechanism PMFs diverged with a recorder")
+    trace.merge(recorder)
+    speedup = plain_s / shared_s if shared_s > 0 else float("inf")
+    print(
+        f"  {'multi_mechanism':>20} N={n_workers:<5} K={n_tasks:<4} "
+        f"M={len(mechanisms):<3} plain={plain_s * 1e3:8.2f} ms "
+        f"shared={shared_s * 1e3:7.2f} ms speedup={speedup:6.1f}x"
+    )
+    return [
+        {
+            "name": "multi_mechanism",
+            "n_workers": n_workers,
+            "n_tasks": n_tasks,
+            "n_mechanisms": len(mechanisms),
+            "seed": WORKLOAD_SEED,
+            "repeats": repeats,
+            "pass_through_seconds": plain_s,
+            "shared_engine_seconds": shared_s,
+            "speedup": speedup,
+            "plan_hits": recorder.counters.get("engine.plan.hits", 0.0),
+            "plan_misses": recorder.counters.get("engine.plan.misses", 0.0),
+            "grouping_hits": recorder.counters.get("engine.grouping.hits", 0.0),
+            "match": True,
+            "metrics": recorder_metrics(recorder),
+        }
+    ]
+
+
 def bench_batch_runner(smoke: bool, trace: MetricsRecorder) -> list[dict]:
     """Serial vs process-pool batch execution; asserts identical outcomes.
 
@@ -355,6 +427,7 @@ def main(argv: list[str] | None = None) -> int:
         "smoke": args.smoke,
         "environment": environment(),
         "results": bench_price_pmf(args.smoke, args.repeats, trace)
+        + bench_multi_mechanism(args.smoke, args.repeats, trace)
         + bench_batch_runner(args.smoke, trace),
     }
     auction_path = args.out_dir / "BENCH_auction.json"

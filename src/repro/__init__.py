@@ -35,6 +35,7 @@ _logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 from repro.auction import AuctionInstance, AuctionOutcome, Bid, BidProfile, Mechanism, PricePMF
 from repro.bench import BatchAuctionRunner, BatchRunResult
+from repro.engine import SweepEngine, SweepPlan, current_engine, use_engine
 from repro.mechanisms import (
     BaselineAuction,
     DPHSRCAuction,
@@ -94,6 +95,11 @@ __all__ = [
     # batched execution
     "BatchAuctionRunner",
     "BatchRunResult",
+    # sweep engine
+    "SweepEngine",
+    "SweepPlan",
+    "current_engine",
+    "use_engine",
     # mechanisms
     "DPHSRCAuction",
     "BaselineAuction",

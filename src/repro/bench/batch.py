@@ -40,6 +40,7 @@ import numpy as np
 from repro.auction.instance import AuctionInstance
 from repro.auction.mechanism import Mechanism
 from repro.auction.outcome import AuctionOutcome
+from repro.engine.engine import scoped_engine, use_engine
 from repro.exceptions import InstanceExecutionError
 from repro.obs import MetricsRecorder, Recorder, current_recorder, use_recorder
 from repro.resilience.context import current_resilience
@@ -87,12 +88,17 @@ def _run_one(
     """
     if fault_plan is not None:
         fault_plan.raise_if_planned(index, attempt)
+    # A fresh sweep engine per instance execution (mirroring the fresh
+    # recorder): plan reuse within one instance, never across instances,
+    # attempts, or backends — so metrics and outcomes stay identical on
+    # the serial and pooled paths even under retries.
     if not collect_metrics:
-        outcome = mechanism.run(instance, np.random.default_rng(seed))
+        with use_engine(scoped_engine()):
+            outcome = mechanism.run(instance, np.random.default_rng(seed))
         snapshot = None
     else:
         local = MetricsRecorder()
-        with use_recorder(local):
+        with use_recorder(local), use_engine(scoped_engine()):
             outcome = mechanism.run(instance, np.random.default_rng(seed))
         snapshot = local.snapshot()
     if fault_plan is not None:

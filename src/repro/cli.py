@@ -31,6 +31,14 @@ Resilience (see docs/RESILIENCE.md)::
 Retries and resumes replay each unit's original seed, so recovered and
 resumed series are bit-identical to an uninterrupted run; a permanent
 instance failure exits with code 3.
+
+Performance (see docs/USAGE.md §Sharing the price sweep)::
+
+    python -m repro figure5 --fast --no-plan-cache   # disable plan sharing
+
+``--no-plan-cache`` installs an ambient pass-through
+:class:`repro.engine.SweepEngine`, so every mechanism recomputes its
+price sweep; the printed series are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -159,6 +167,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--no-plan-cache",
+        action="store_true",
+        help=(
+            "disable the shared sweep-plan cache (repro.engine.SweepEngine); "
+            "every mechanism recomputes its price sweep from scratch — "
+            "results are bit-identical, only slower (see docs/USAGE.md)"
+        ),
+    )
+    parser.add_argument(
         "--fault-plan",
         default=None,
         metavar="SPEC",
@@ -192,6 +209,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.output is not None and len(names) != 1:
         print("error: --output requires a single experiment", file=sys.stderr)
         return 2
+    from repro.engine import SweepEngine, current_engine, use_engine
     from repro.exceptions import InstanceExecutionError
     from repro.experiments.export import render
     from repro.obs import NULL_RECORDER, MetricsRecorder, use_recorder
@@ -211,8 +229,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     resilience = ResilienceConfig(
         retry=retry, fault_plan=fault_plan, checkpoint_dir=args.resume
     )
+    # --no-plan-cache installs an ambient pass-through engine; every
+    # scoped_engine() inside the experiments clones its policy, so no
+    # sweep plan is cached anywhere in the run.
+    engine = SweepEngine(cache=False) if args.no_plan_cache else current_engine()
     try:
-        with use_recorder(recorder), use_resilience(resilience):
+        with use_recorder(recorder), use_resilience(resilience), use_engine(engine):
             for name in names:
                 with recorder.span("experiment", name, fast=args.fast, seed=args.seed):
                     result = run_experiment(name, fast=args.fast, seed=args.seed)

@@ -16,6 +16,22 @@ retained per-item-scan reference implementations in
 :mod:`repro.coverage.reference`; ``scripts/bench.py`` records their
 speedup in ``BENCH_greedy.json``.
 
+Resumable API
+-------------
+The price-sweep engine (:mod:`repro.engine`) solves one covering problem
+per affordable-worker group, and the groups are *nested*: each group's
+candidates are a prefix-superset of the previous group's.  Rebuilding the
+truncated-gain matrix per group from the sliced sub-problem wastes both
+the slice and the initial ``min(gains, demands)`` truncation.
+:class:`GreedyState` precomputes that shared state once for the full
+problem; ``greedy_cover(problem, budget_mask=mask)`` (or
+``state.solve(mask)``) then restricts each run to the masked rows and
+returns selections in *original* item indices.  The masked run is
+bit-for-bit identical to slicing the problem to the masked rows first:
+row values are unchanged, unmasked rows score ``-inf``, and the
+lowest-index tie-break over masked rows coincides with the tie-break over
+the sorted slice.
+
 Tie-breaking rule
 -----------------
 The paper's ``argmax`` is silent on ties, which are common late in a run
@@ -38,14 +54,16 @@ import numpy as np
 from repro.coverage.problem import CoverProblem
 from repro.exceptions import InfeasibleError
 from repro.obs import current_recorder
+from repro.tolerances import DEMAND_TOL
 
-__all__ = ["GreedyResult", "greedy_cover", "static_order_cover"]
+__all__ = ["GreedyResult", "GreedyState", "greedy_cover", "static_order_cover"]
 
 #: Demands below this tolerance count as satisfied, guarding against
 #: floating-point residue in the ``Q' −= min(Q', q)`` updates.  The same
 #: tolerance is the tie-breaking band: per-step gains within ``_TOL`` of
-#: the maximum are considered tied and the lowest index wins.
-_TOL = 1e-9
+#: the maximum are considered tied and the lowest index wins.  Aliased
+#: from the centralized :data:`repro.tolerances.DEMAND_TOL`.
+_TOL = DEMAND_TOL
 
 #: Row-block size for the static-order cover's chunked prefix scan.
 _BLOCK = 128
@@ -73,7 +91,120 @@ class GreedyResult:
         return int(self.selection.size)
 
 
-def greedy_cover(problem: CoverProblem) -> GreedyResult:
+def _as_item_mask(budget_mask, n_items: int) -> np.ndarray:
+    """Normalize a boolean mask or index array to a boolean item mask."""
+    mask = np.asarray(budget_mask)
+    if mask.dtype == bool:
+        if mask.shape != (n_items,):
+            raise ValueError(
+                f"budget_mask must have shape ({n_items},), got {mask.shape}"
+            )
+        return mask
+    indices = mask.astype(int, copy=False).ravel()
+    out = np.zeros(n_items, dtype=bool)
+    out[indices] = True
+    return out
+
+
+class GreedyState:
+    """Shared precomputation for many budget-restricted runs on one problem.
+
+    Builds the snapped residual-demand vector and the initial truncated
+    gain matrix ``T = min(gains, demands)`` once; :meth:`solve` then runs
+    the adaptive greedy restricted to any subset of items without
+    recomputing either.  Used by :class:`repro.engine.SweepEngine` to
+    solve the nested affordable-worker groups of a price sweep in
+    ascending price order with one shared gain matrix.
+    """
+
+    def __init__(self, problem: CoverProblem) -> None:
+        self.problem = problem
+        residual = problem.demands.copy()
+        residual[residual <= _TOL] = 0.0
+        self._residual0 = residual
+        self._trivial = not np.any(residual > 0.0)
+        # T[i, j] = min(Q_j, q_ij); columns of satisfied demands are zero.
+        self._truncated0 = (
+            None if self._trivial else np.minimum(problem.gains, residual[np.newaxis, :])
+        )
+
+    def solve(self, budget_mask=None) -> GreedyResult:
+        """Adaptive greedy over the masked items (original indices).
+
+        Parameters
+        ----------
+        budget_mask:
+            ``None`` (all items eligible), a boolean ``(n_items,)`` mask,
+            or an integer index array of eligible items.
+
+        Raises
+        ------
+        InfeasibleError
+            If the eligible items cannot satisfy every demand.
+        """
+        recorder = current_recorder()
+        problem = self.problem
+        gains = problem.gains
+        n_items = problem.n_items
+        residual = self._residual0.copy()
+        recorder.count("greedy.calls")
+        if self._trivial:
+            return GreedyResult(selection=np.array([], dtype=int), order=())
+
+        def infeasible() -> InfeasibleError:
+            return InfeasibleError(
+                "greedy cover exhausted all useful items with "
+                f"{int(np.count_nonzero(residual > 0.0))} demands still unmet"
+            )
+
+        if budget_mask is None:
+            available = np.ones(n_items, dtype=bool)
+            n_eligible = n_items
+        else:
+            available = _as_item_mask(budget_mask, n_items).copy()
+            n_eligible = int(np.count_nonzero(available))
+        if n_eligible == 0:
+            raise infeasible()
+
+        truncated = self._truncated0.copy()
+        order: list[int] = []
+        candidates_scanned = 0
+        while True:
+            scores = truncated.sum(axis=1)
+            scores[~available] = -np.inf
+            best_score = scores.max()
+            if best_score <= _TOL:
+                recorder.count("greedy.iterations", len(order))
+                recorder.count("greedy.candidates_scanned", candidates_scanned)
+                raise infeasible()
+            best = int(np.argmax(scores >= best_score - _TOL))
+            # Every still-eligible item's score was recomputed this step.
+            candidates_scanned += n_eligible - len(order)
+            order.append(best)
+            available[best] = False
+
+            step = truncated[best].copy()
+            residual -= step
+            residual[residual <= _TOL] = 0.0
+            if recorder.enabled:
+                recorder.observe("greedy.residual_demand", float(residual.sum()))
+            if not np.any(residual > 0.0):
+                break
+            # A residual changed exactly where the winner contributed; only
+            # those columns of T need recomputing.
+            changed = step > 0.0
+            truncated[:, changed] = np.minimum(gains[:, changed], residual[changed])
+
+        recorder.count("greedy.iterations", len(order))
+        recorder.count("greedy.candidates_scanned", candidates_scanned)
+        return GreedyResult(
+            selection=np.array(sorted(order), dtype=int), order=tuple(order)
+        )
+
+
+def greedy_cover(
+    problem: CoverProblem, *, budget_mask=None, state: GreedyState | None = None
+) -> GreedyResult:
     """Adaptive truncated-gain greedy (Algorithm 1, lines 8–13).
 
     At every step selects ``argmax_i Σ_j min(Q'_j, q_ij)`` among the
@@ -81,11 +212,25 @@ def greedy_cover(problem: CoverProblem) -> GreedyResult:
     module docstring), subtracts the truncated gains from the residual
     demands, and stops when all residuals hit zero.
 
+    Parameters
+    ----------
+    problem:
+        The covering instance.
+    budget_mask:
+        Optional restriction to a subset of items — a boolean
+        ``(n_items,)`` mask or an index array.  The selection is returned
+        in original item indices and is bit-for-bit identical to running
+        on the sub-problem sliced to the (sorted) masked rows.
+    state:
+        Optional precomputed :class:`GreedyState` for ``problem``; pass
+        one when solving many masks of the same problem to reuse the
+        initial truncation.
+
     Raises
     ------
     InfeasibleError
-        If demands remain positive after all items are exhausted, i.e.
-        the instance is not coverable.
+        If demands remain positive after all eligible items are
+        exhausted, i.e. the (restricted) instance is not coverable.
 
     Notes
     -----
@@ -99,58 +244,11 @@ def greedy_cover(problem: CoverProblem) -> GreedyResult:
     :func:`repro.coverage.reference.reference_greedy_cover` bit-for-bit,
     which the equivalence suite asserts on hundreds of seeded instances.
     """
-    recorder = current_recorder()
-    gains = problem.gains
-    n_items = problem.n_items
-    residual = problem.demands.copy()
-    residual[residual <= _TOL] = 0.0
-    recorder.count("greedy.calls")
-    if not np.any(residual > 0.0):
-        return GreedyResult(selection=np.array([], dtype=int), order=())
-
-    def infeasible() -> InfeasibleError:
-        return InfeasibleError(
-            "greedy cover exhausted all useful items with "
-            f"{int(np.count_nonzero(residual > 0.0))} demands still unmet"
-        )
-
-    if n_items == 0:
-        raise infeasible()
-
-    # T[i, j] = min(Q'_j, q_ij); columns of satisfied demands are all zero.
-    truncated = np.minimum(gains, residual[np.newaxis, :])
-    available = np.ones(n_items, dtype=bool)
-    order: list[int] = []
-    candidates_scanned = 0
-    while True:
-        scores = truncated.sum(axis=1)
-        scores[~available] = -np.inf
-        best_score = scores.max()
-        if best_score <= _TOL:
-            recorder.count("greedy.iterations", len(order))
-            recorder.count("greedy.candidates_scanned", candidates_scanned)
-            raise infeasible()
-        best = int(np.argmax(scores >= best_score - _TOL))
-        # Every still-available item's score was recomputed this step.
-        candidates_scanned += n_items - len(order)
-        order.append(best)
-        available[best] = False
-
-        step = truncated[best].copy()
-        residual -= step
-        residual[residual <= _TOL] = 0.0
-        if recorder.enabled:
-            recorder.observe("greedy.residual_demand", float(residual.sum()))
-        if not np.any(residual > 0.0):
-            break
-        # A residual changed exactly where the winner contributed; only
-        # those columns of T need recomputing.
-        changed = step > 0.0
-        truncated[:, changed] = np.minimum(gains[:, changed], residual[changed])
-
-    recorder.count("greedy.iterations", len(order))
-    recorder.count("greedy.candidates_scanned", candidates_scanned)
-    return GreedyResult(selection=np.array(sorted(order), dtype=int), order=tuple(order))
+    if state is None:
+        state = GreedyState(problem)
+    elif state.problem is not problem:
+        raise ValueError("state was built for a different CoverProblem")
+    return state.solve(budget_mask)
 
 
 def static_order_cover(

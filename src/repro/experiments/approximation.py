@@ -13,6 +13,7 @@ number).
 from __future__ import annotations
 
 from repro.analysis.payment import approximation_ratio
+from repro.engine.engine import scoped_engine, use_engine
 from repro.experiments.runner import ExperimentResult
 from repro.mechanisms.dp_hsrc import DPHSRCAuction
 from repro.mechanisms.baseline import BaselineAuction
@@ -47,13 +48,16 @@ def run(
     uncertified = 0
     for trial in range(int(n_instances)):
         instance, _pool = generate_instance(SETTING_I, rng, n_workers=n_workers)
-        opt = optimal_total_payment(
-            instance, time_limit_per_solve=optimal_time_limit, max_exact_solves=8
-        )
-        if not opt.certified:
-            uncertified += 1
-        dp_payment = auction.price_pmf(instance).expected_total_payment()
-        base_payment = baseline.price_pmf(instance).expected_total_payment()
+        # All three mechanisms on one instance: share the sweep plan
+        # (optimal reuses dp_hsrc's greedy covers as its upper bounds).
+        with use_engine(scoped_engine()):
+            opt = optimal_total_payment(
+                instance, time_limit_per_solve=optimal_time_limit, max_exact_solves=8
+            )
+            if not opt.certified:
+                uncertified += 1
+            dp_payment = auction.price_pmf(instance).expected_total_payment()
+            base_payment = baseline.price_pmf(instance).expected_total_payment()
         bound = theorem6_payment_bound(
             instance, SETTING_I.epsilon, opt.total_payment, unit=SETTING_I.grid_step
         )

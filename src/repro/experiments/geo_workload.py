@@ -22,10 +22,12 @@ import numpy as np
 
 from repro.auction.bids import Bid, BidProfile
 from repro.auction.instance import AuctionInstance
+from repro.engine.engine import scoped_engine, use_engine
 from repro.exceptions import InfeasibleError
 from repro.experiments.runner import ExperimentResult
 from repro.mechanisms.baseline import BaselineAuction
 from repro.mechanisms.dp_hsrc import DPHSRCAuction
+from repro.tolerances import DEMAND_TOL
 from repro.utils.rng import ensure_rng
 from repro.workloads.geo import GeoCityConfig, generate_geo_market
 
@@ -72,18 +74,22 @@ def run(
     rows = []
     for market_id in range(int(n_markets)):
         market = generate_geo_market(config, rng)
-        geo_pmf = dp.price_pmf(market.instance)
-        geo_base = base.price_pmf(market.instance)
+        # DP and baseline share one engine per market: both sweep the
+        # same instance (and the same uniform control), so the grouping
+        # is computed once per geometry.
+        with use_engine(scoped_engine()):
+            geo_pmf = dp.price_pmf(market.instance)
+            geo_base = base.price_pmf(market.instance)
 
-        # Size-matched uniform control; redraw until feasible.
-        uniform_pmf = uniform_base_pmf = None
-        for _ in range(20):
-            control = _uniform_rebundle(market.instance, rng)
-            coverage = control.effective_quality.sum(axis=0)
-            if np.all(coverage >= control.demands - 1e-9):
-                uniform_pmf = dp.price_pmf(control)
-                uniform_base_pmf = base.price_pmf(control)
-                break
+            # Size-matched uniform control; redraw until feasible.
+            uniform_pmf = uniform_base_pmf = None
+            for _ in range(20):
+                control = _uniform_rebundle(market.instance, rng)
+                coverage = control.effective_quality.sum(axis=0)
+                if np.all(coverage >= control.demands - DEMAND_TOL):
+                    uniform_pmf = dp.price_pmf(control)
+                    uniform_base_pmf = base.price_pmf(control)
+                    break
         if uniform_pmf is None:
             raise InfeasibleError("no feasible uniform control in 20 draws")
 

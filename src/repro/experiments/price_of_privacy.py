@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.engine import scoped_engine, use_engine
 from repro.experiments.runner import ExperimentResult
 from repro.exceptions import InfeasibleError
 from repro.mechanisms.dp_hsrc import DPHSRCAuction
@@ -40,19 +41,23 @@ def run(*, fast: bool = False, seed: int = 0, n_instances: int = 8) -> Experimen
     rows = []
     for trial in range(int(n_instances)):
         instance, _pool = generate_instance(SETTING_I, rng, n_workers=100)
-        pmf = auction.price_pmf(instance)
-        dp_payment = pmf.expected_total_payment()
+        # One engine per trial: the DP auction's sweeps for the instance
+        # and its bid-replaced neighbor are cached under distinct plans
+        # (identity-keyed), so the neighbor can never see a stale cover.
+        with use_engine(scoped_engine()):
+            pmf = auction.price_pmf(instance)
+            dp_payment = pmf.expected_total_payment()
 
-        try:
-            threshold_outcome = threshold.run(instance)
-            threshold_payment = threshold_outcome.total_payment
-        except InfeasibleError:
-            threshold_outcome = None
-            threshold_payment = float("nan")
+            try:
+                threshold_outcome = threshold.run(instance)
+                threshold_payment = threshold_outcome.total_payment
+            except InfeasibleError:
+                threshold_outcome = None
+                threshold_payment = float("nan")
 
-        worker = int(rng.integers(instance.n_workers))
-        neighbor = matched_neighbor(instance, SETTING_I, worker, seed=rng)
-        dp_distinguish = pmf_max_log_ratio(pmf, auction.price_pmf(neighbor))
+            worker = int(rng.integers(instance.n_workers))
+            neighbor = matched_neighbor(instance, SETTING_I, worker, seed=rng)
+            dp_distinguish = pmf_max_log_ratio(pmf, auction.price_pmf(neighbor))
         if threshold_outcome is None:
             # The mechanism itself failed on this market; distinguishability
             # against a neighbor is undefined rather than infinite.

@@ -11,15 +11,15 @@ the paper uses it to isolate the value of the greedy winner-set stage.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.auction.instance import AuctionInstance
 from repro.auction.mechanism import Mechanism, PricePMF
 from repro.coverage.greedy import static_order_cover
-from repro.mechanisms.dp_hsrc import payment_score_sensitivity
-from repro.mechanisms.price_set import feasible_price_set, group_prices_by_candidates
+from repro.engine.engine import current_engine
+from repro.mechanisms.dp_hsrc import (
+    exponential_price_probabilities,
+    payment_score_sensitivity,
+)
 from repro.obs import current_recorder
-from repro.privacy.exponential import ExponentialMechanism
 from repro.utils import validation
 
 __all__ = ["BaselineAuction"]
@@ -43,50 +43,33 @@ class BaselineAuction(Mechanism):
     def price_pmf(self, instance: AuctionInstance) -> PricePMF:
         """Exact (price, winner-set) distribution for ``instance``."""
         recorder = current_recorder()
-        with recorder.span(
-            "price_set", f"{self.name}.price_set", n_workers=instance.n_workers
-        ):
-            prices = feasible_price_set(instance)
-            groups = group_prices_by_candidates(instance, prices)
-        winner_sets: list[np.ndarray] = [None] * prices.size  # type: ignore[list-item]
-
-        for group in groups:
-            # Descending static gain over the affordable workers; ties
-            # break toward the lower original index for determinism.
-            with recorder.span(
-                "greedy_group",
-                f"{self.name}.static_order_group",
-                n_candidates=int(group.candidates.size),
-                n_prices=int(group.price_indices.size),
-            ):
-                static_gain = group.problem.gains.sum(axis=1)
-                order = np.argsort(-static_gain, kind="stable")
-                local = static_order_cover(group.problem, order=order).selection
-            winners = group.candidates[local]
-            for k in group.price_indices:
-                winner_sets[int(k)] = winners
+        # static_order_cover's default order is exactly the baseline rule
+        # (descending static gain, index-ascending ties), so the bare
+        # kernel is this mechanism's plan-cache key in the ambient engine.
+        plan = current_engine().plan(
+            instance,
+            static_order_cover,
+            label=self.name,
+            group_span="static_order_group",
+        )
 
         sensitivity = payment_score_sensitivity(instance)
         with recorder.span(
-            "exp_mech", f"{self.name}.exp_mech", support_size=int(prices.size)
+            "exp_mech", f"{self.name}.exp_mech", support_size=plan.support_size
         ):
-            cover_sizes = np.array([w.size for w in winner_sets], dtype=float)
-            mechanism = ExponentialMechanism(
-                scores=-(prices * cover_sizes),
-                epsilon=self.epsilon,
-                sensitivity=sensitivity,
+            probabilities = exponential_price_probabilities(
+                plan.prices * plan.cover_sizes, self.epsilon, sensitivity
             )
-            probabilities = mechanism.probabilities
         recorder.ledger.record(
             self.name,
             epsilon=self.epsilon,
             sensitivity=sensitivity,
-            support_size=int(prices.size),
+            support_size=plan.support_size,
             n_workers=instance.n_workers,
         )
         return PricePMF(
-            prices=prices,
+            prices=plan.prices,
             probabilities=probabilities,
-            winner_sets=tuple(winner_sets),
+            winner_sets=plan.winner_sets,
             n_workers=instance.n_workers,
         )

@@ -37,12 +37,34 @@ from repro.auction.instance import AuctionInstance
 from repro.auction.mechanism import Mechanism, PricePMF
 from repro.coverage.greedy import GreedyResult, greedy_cover
 from repro.coverage.problem import CoverProblem
-from repro.mechanisms.price_set import feasible_price_set, group_prices_by_candidates
+from repro.engine.engine import current_engine
 from repro.obs import current_recorder
 from repro.privacy.exponential import ExponentialMechanism
 from repro.utils import validation
 
-__all__ = ["DPHSRCAuction", "payment_score_sensitivity", "reweight_pmf"]
+__all__ = [
+    "DPHSRCAuction",
+    "payment_score_sensitivity",
+    "exponential_price_probabilities",
+    "reweight_pmf",
+]
+
+
+def exponential_price_probabilities(
+    total_payments: np.ndarray, epsilon: float, sensitivity: float
+) -> np.ndarray:
+    """The paper's exponential price draw over a total-payment schedule.
+
+    ``Pr[p = x] ∝ exp(−ε · x·|S(x)| / (2·Δu))`` — shared by the DP-hSRC
+    and baseline price stages and by :func:`reweight_pmf`, so the scoring
+    arithmetic (and hence any fix to it) lives in exactly one place.
+    """
+    mechanism = ExponentialMechanism(
+        scores=-np.asarray(total_payments, dtype=float),
+        epsilon=float(epsilon),
+        sensitivity=float(sensitivity),
+    )
+    return mechanism.probabilities
 
 
 class DPHSRCAuction(Mechanism):
@@ -62,7 +84,11 @@ class DPHSRCAuction(Mechanism):
         benchmark harness injects
         :func:`~repro.coverage.reference.reference_greedy_cover` here to
         measure the kernel speedup end-to-end.  Must be a module-level
-        callable for the mechanism to stay picklable.
+        callable for the mechanism to stay picklable.  Together with the
+        instance it also keys the ambient
+        :class:`~repro.engine.SweepEngine`'s plan cache: mechanisms
+        sharing a solver (e.g. every DP-hSRC variant at any ε) share one
+        cached sweep per instance.
     record_ledger:
         Whether :meth:`price_pmf` records its exponential-mechanism
         price draw in the ambient privacy ledger (see
@@ -110,52 +136,32 @@ class DPHSRCAuction(Mechanism):
             When no grid price is feasible.
         """
         recorder = current_recorder()
-        with recorder.span(
-            "price_set", f"{self.name}.price_set", n_workers=instance.n_workers
-        ) as span:
-            prices = feasible_price_set(instance)
-            groups = group_prices_by_candidates(instance, prices)
-            span.set(support_size=int(prices.size), n_groups=len(groups))
-        winner_sets: list[np.ndarray] = [None] * prices.size  # type: ignore[list-item]
-
-        for group in groups:
-            with recorder.span(
-                "greedy_group",
-                f"{self.name}.greedy_group",
-                n_candidates=int(group.candidates.size),
-                n_prices=int(group.price_indices.size),
-            ) as span:
-                local = self.cover_solver(group.problem).selection
-                span.set(cover_size=int(local.size))
-            winners = group.candidates[local]
-            for k in group.price_indices:
-                winner_sets[int(k)] = winners
-        recorder.count("auction.greedy_groups", len(groups))
+        # The ε-independent sweep (price set, groups, per-group covers)
+        # comes from the ambient engine: under a shared SweepEngine, N
+        # mechanisms (or N ε values) on one instance pay for it once.
+        plan = current_engine().plan(instance, self.cover_solver, label=self.name)
+        recorder.count("auction.greedy_groups", plan.n_groups)
 
         sensitivity = payment_score_sensitivity(instance)
         with recorder.span(
-            "exp_mech", f"{self.name}.exp_mech", support_size=int(prices.size)
+            "exp_mech", f"{self.name}.exp_mech", support_size=plan.support_size
         ):
-            cover_sizes = np.array([w.size for w in winner_sets], dtype=float)
-            mechanism = ExponentialMechanism(
-                scores=-(prices * cover_sizes),
-                epsilon=self.epsilon,
-                sensitivity=sensitivity,
+            probabilities = exponential_price_probabilities(
+                plan.prices * plan.cover_sizes, self.epsilon, sensitivity
             )
-            probabilities = mechanism.probabilities
         recorder.count("auction.price_pmf_calls")
         if self.record_ledger:
             recorder.ledger.record(
                 self.name,
                 epsilon=self.epsilon,
                 sensitivity=sensitivity,
-                support_size=int(prices.size),
+                support_size=plan.support_size,
                 n_workers=instance.n_workers,
             )
         return PricePMF(
-            prices=prices,
+            prices=plan.prices,
             probabilities=probabilities,
-            winner_sets=tuple(winner_sets),
+            winner_sets=plan.winner_sets,
             n_workers=instance.n_workers,
         )
 
@@ -187,12 +193,9 @@ def reweight_pmf(pmf: PricePMF, instance: AuctionInstance, epsilon: float) -> Pr
     with recorder.span(
         "exp_mech", "dp-hsrc.reweight", support_size=pmf.support_size
     ):
-        mechanism = ExponentialMechanism(
-            scores=-pmf.total_payments.astype(float),
-            epsilon=float(epsilon),
-            sensitivity=sensitivity,
+        probabilities = exponential_price_probabilities(
+            pmf.total_payments, epsilon, sensitivity
         )
-        probabilities = mechanism.probabilities
     recorder.ledger.record(
         "dp-hsrc/reweight",
         epsilon=float(epsilon),

@@ -60,7 +60,14 @@ class PermuteFlipHSRCAuction(Mechanism):
         self._winner_stage = DPHSRCAuction(epsilon=epsilon, record_ledger=False)
 
     def _winner_schedule(self, instance: AuctionInstance) -> PricePMF:
-        """Prices, winner sets, and payment scores (ε-independent)."""
+        """Prices, winner sets, and payment scores (ε-independent).
+
+        Routed through the internal DP-hSRC winner stage, whose sweep
+        comes from the ambient :class:`~repro.engine.SweepEngine` — so
+        under a shared engine, every permute-and-flip variant (and the
+        exponential-mechanism original) reuses one cached plan per
+        instance regardless of ε.
+        """
         return self._winner_stage.price_pmf(instance)
 
     def price_pmf(self, instance: AuctionInstance) -> PricePMF:

@@ -39,7 +39,8 @@ from repro.auction.mechanism import Mechanism, PricePMF
 from repro.coverage.exact import solve_exact
 from repro.coverage.greedy import greedy_cover
 from repro.coverage.lp import lp_lower_bound
-from repro.mechanisms.price_set import feasible_price_set, group_prices_by_candidates
+from repro.engine.engine import current_engine
+from repro.tolerances import DEMAND_TOL
 
 __all__ = ["OptimalSinglePriceMechanism", "OptimalResult", "optimal_total_payment"]
 
@@ -101,8 +102,11 @@ def optimal_total_payment(
     EmptyPriceSetError
         When no grid price is feasible.
     """
-    prices = feasible_price_set(instance)
-    groups = group_prices_by_candidates(instance, prices)
+    # The sweep plan supplies the price set, groups, and the per-group
+    # greedy covers (the historical upper-bound pass) — shared with any
+    # other greedy-backed mechanism evaluated on this instance.
+    plan = current_engine().plan(instance, greedy_cover, label="optimal")
+    prices, groups = plan.prices, plan.groups
 
     # Cheap certified bounds per group.  Group price = its lowest price
     # (within a group |S| is constant, so the lowest price is optimal).
@@ -110,17 +114,15 @@ def optimal_total_payment(
         [float(prices[g.price_indices[0]]) for g in groups]
     )
     lower_bounds = np.empty(len(groups))
-    greedy_sizes = np.empty(len(groups), dtype=int)
     for idx, group in enumerate(groups):
         lower_bounds[idx] = group_prices[idx] * lp_lower_bound(group.problem).integral_bound
-        greedy_sizes[idx] = greedy_cover(group.problem).size
 
     best: OptimalResult | None = None
     n_solves = 0
     certified = True
     for idx in np.argsort(lower_bounds):
         group = groups[int(idx)]
-        if best is not None and lower_bounds[idx] >= best.total_payment - 1e-9:
+        if best is not None and lower_bounds[idx] >= best.total_payment - DEMAND_TOL:
             break  # every remaining group's optimum is provably no better
         if max_exact_solves is not None and n_solves >= max_exact_solves:
             certified = False  # remaining groups were never ruled out

@@ -40,10 +40,9 @@ import numpy as np
 from repro.auction.instance import AuctionInstance
 from repro.auction.outcome import AuctionOutcome
 from repro.exceptions import InfeasibleError
+from repro.tolerances import DEMAND_TOL as _TOL
 
 __all__ = ["ThresholdPaymentAuction"]
-
-_TOL = 1e-9
 
 
 def _greedy_by_cost_effectiveness(

@@ -1,0 +1,162 @@
+"""SweepEngine cache semantics: identity keying, LRU, scoping, staleness.
+
+Complements ``test_engine_golden.py`` (which pins *what* the plans
+contain) by pinning *how* the cache behaves: hit/miss accounting, the
+bounded LRU, the identity-keyed staleness guarantee across
+``replace_bid`` neighbors, ``scoped_engine``'s policy inheritance, and
+outcome invariance across batch backends with the cache in play.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auction.bids import Bid
+from repro.bench import BatchAuctionRunner, seeded_auction_batch
+from repro.engine import (
+    DEFAULT_ENGINE,
+    SweepEngine,
+    current_engine,
+    scoped_engine,
+    use_engine,
+)
+from repro.engine.reference import reference_dp_hsrc_pmf
+from repro.coverage.greedy import greedy_cover, static_order_cover
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+from repro.obs import MetricsRecorder, use_recorder
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return seeded_auction_batch(6, n_workers=35, n_tasks=7, seed=99)
+
+
+def assert_pmf_equal(actual, expected):
+    assert np.array_equal(actual.prices, expected.prices)
+    assert np.array_equal(actual.probabilities, expected.probabilities)
+    for a, e in zip(actual.winner_sets, expected.winner_sets):
+        assert np.array_equal(a, e)
+
+
+class TestCacheAccounting:
+    def test_plan_hits_misses_and_recorder_counters(self, instances):
+        instance = instances[0]
+        recorder = MetricsRecorder()
+        with use_recorder(recorder), use_engine(SweepEngine()) as engine:
+            engine.plan(instance, greedy_cover)
+            engine.plan(instance, greedy_cover)
+            engine.plan(instance, static_order_cover)  # new solver: miss
+        assert (engine.hits, engine.misses) == (1, 2)
+        assert recorder.counters["engine.plan.hits"] == 1.0
+        assert recorder.counters["engine.plan.misses"] == 2.0
+        # The static-order plan reused the greedy plan's price grouping.
+        assert recorder.counters["engine.grouping.hits"] == 1.0
+        assert recorder.counters["engine.grouping.misses"] == 1.0
+
+    def test_cache_disabled_every_lookup_misses(self, instances):
+        instance = instances[0]
+        with use_engine(SweepEngine(cache=False)) as engine:
+            a = engine.plan(instance, greedy_cover)
+            b = engine.plan(instance, greedy_cover)
+        assert (engine.hits, engine.misses) == (0, 2)
+        assert a is not b
+        assert np.array_equal(a.prices, b.prices)
+
+    def test_lru_eviction_bounds_the_cache(self, instances):
+        with use_engine(SweepEngine(max_plans=2)) as engine:
+            for instance in instances[:4]:
+                engine.plan(instance, greedy_cover)
+            assert engine.evictions == 2
+            # Evicted entries rebuild correctly (and count a fresh miss).
+            pmf = DPHSRCAuction(epsilon=0.1).price_pmf(instances[0])
+        assert engine.misses == 5
+        assert_pmf_equal(pmf, reference_dp_hsrc_pmf(instances[0], 0.1))
+
+
+class TestCacheOnOffEquivalence:
+    @given(seed=st.integers(0, 50), epsilon=st.sampled_from([0.1, 1.0, 5.0]))
+    @settings(max_examples=15, deadline=None)
+    def test_pmf_is_bit_identical_with_and_without_cache(self, seed, epsilon):
+        [instance] = seeded_auction_batch(1, n_workers=25, n_tasks=5, seed=seed)
+        auction = DPHSRCAuction(epsilon=epsilon)
+        with use_engine(SweepEngine()):
+            cached = auction.price_pmf(instance)
+            cached_again = auction.price_pmf(instance)
+        with use_engine(SweepEngine(cache=False)):
+            uncached = auction.price_pmf(instance)
+        assert_pmf_equal(cached, uncached)
+        assert_pmf_equal(cached_again, uncached)
+
+
+class TestReplaceBidStaleness:
+    def test_neighbor_never_sees_the_original_plan(self, instances):
+        """replace_bid returns a new identity, so its plan is a fresh miss."""
+        instance = instances[0]
+        auction = DPHSRCAuction(epsilon=0.1)
+        bid = instance.bids[0]
+        neighbor = instance.replace_bid(0, Bid(bid.bundle, bid.price * 1.5))
+        with use_engine(SweepEngine()) as engine:
+            pmf = auction.price_pmf(instance)
+            neighbor_pmf = auction.price_pmf(neighbor)
+        assert (engine.hits, engine.misses) == (0, 2)
+        assert_pmf_equal(pmf, reference_dp_hsrc_pmf(instance, 0.1))
+        assert_pmf_equal(neighbor_pmf, reference_dp_hsrc_pmf(neighbor, 0.1))
+
+    @given(worker=st.integers(0, 34), scale=st.sampled_from([0.5, 0.9, 1.1, 2.0]))
+    @settings(max_examples=20, deadline=None)
+    def test_neighbor_pmfs_match_reference_under_a_shared_engine(self, worker, scale):
+        [instance] = seeded_auction_batch(1, n_workers=35, n_tasks=7, seed=7)
+        bid = instance.bids[worker]
+        neighbor = instance.replace_bid(worker, Bid(bid.bundle, bid.price * scale))
+        auction = DPHSRCAuction(epsilon=0.1)
+        with use_engine(SweepEngine()):
+            auction.price_pmf(instance)  # warm the cache with the original
+            shared = auction.price_pmf(neighbor)
+        assert_pmf_equal(shared, reference_dp_hsrc_pmf(neighbor, 0.1))
+
+
+class TestScopedEngine:
+    def test_default_ambient_yields_a_caching_engine(self):
+        assert current_engine() is DEFAULT_ENGINE
+        scoped = scoped_engine()
+        assert scoped is not DEFAULT_ENGINE
+        assert scoped.cache is True
+
+    def test_pass_through_ambient_propagates_no_cache(self):
+        with use_engine(SweepEngine(cache=False)):
+            scoped = scoped_engine()
+        assert scoped.cache is False
+
+    def test_caching_ambient_yields_an_empty_clone(self, instances):
+        with use_engine(SweepEngine(max_plans=3)) as ambient:
+            ambient.plan(instances[0], greedy_cover)
+            scoped = scoped_engine()
+        assert scoped is not ambient
+        assert scoped.cache is True and scoped.max_plans == 3
+        assert (scoped.hits, scoped.misses) == (0, 0)
+
+
+class TestBatchBackends:
+    def test_serial_and_process_agree_with_the_plan_cache(self, instances):
+        mechanism = DPHSRCAuction(epsilon=0.1)
+        serial = BatchAuctionRunner(mechanism, backend="serial").run(instances, seed=3)
+        pooled = BatchAuctionRunner(mechanism, backend="process", max_workers=2).run(
+            instances, seed=3
+        )
+        for left, right in zip(serial.outcomes, pooled.outcomes):
+            assert left.price == right.price
+            assert np.array_equal(left.winners, right.winners)
+
+    def test_backends_agree_under_an_ambient_no_cache_engine(self, instances):
+        mechanism = DPHSRCAuction(epsilon=0.1)
+        baseline = BatchAuctionRunner(mechanism, backend="serial").run(
+            instances, seed=3
+        )
+        with use_engine(SweepEngine(cache=False)):
+            serial = BatchAuctionRunner(mechanism, backend="serial").run(
+                instances, seed=3
+            )
+        for left, right in zip(baseline.outcomes, serial.outcomes):
+            assert left.price == right.price
+            assert np.array_equal(left.winners, right.winners)

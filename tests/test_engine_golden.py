@@ -1,0 +1,155 @@
+"""Golden equivalence: engine-backed mechanisms == the pre-engine pipeline.
+
+The SweepEngine refactor moved the shared ``feasible_price_set →
+group_prices_by_candidates → per-group cover`` pipeline out of every
+mechanism into :mod:`repro.engine`.  The contract is **bit-for-bit**
+equality: a cached plan, a pass-through engine, and the retained
+pre-refactor reference (:mod:`repro.engine.reference`) must all yield
+identical PMFs, winner sets, and optima.  This is the suite CI's
+``engine-smoke`` job runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import seeded_auction_batch
+from repro.engine import (
+    SweepEngine,
+    build_plan,
+    reference_baseline_pmf,
+    reference_dp_hsrc_pmf,
+    reference_optimal_total_payment,
+    reference_winner_schedule,
+    use_engine,
+)
+from repro.coverage.greedy import greedy_cover
+from repro.mechanisms.baseline import BaselineAuction
+from repro.mechanisms.dp_hsrc import DPHSRCAuction, reweight_pmf
+from repro.mechanisms.dp_variants import PermuteFlipHSRCAuction
+from repro.mechanisms.optimal import optimal_total_payment
+
+EPSILONS = (0.1, 1.0)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return seeded_auction_batch(4, n_workers=40, n_tasks=8, seed=2016)
+
+
+def engines():
+    """The three engine modes every mechanism must agree across."""
+    return {
+        "default": None,  # ambient pass-through, no use_engine at all
+        "cached": SweepEngine(),
+        "cache-off": SweepEngine(cache=False),
+    }
+
+
+def _run_under(engine, fn):
+    if engine is None:
+        return fn()
+    with use_engine(engine):
+        return fn()
+
+
+def assert_pmf_equal(actual, expected):
+    assert np.array_equal(actual.prices, expected.prices)
+    assert np.array_equal(actual.probabilities, expected.probabilities)
+    assert len(actual.winner_sets) == len(expected.winner_sets)
+    for a, e in zip(actual.winner_sets, expected.winner_sets):
+        assert np.array_equal(a, e)
+
+
+class TestWinnerSchedule:
+    def test_build_plan_matches_reference(self, instances):
+        for instance in instances:
+            prices, winner_sets = reference_winner_schedule(instance, greedy_cover)
+            plan = build_plan(instance, greedy_cover)
+            assert np.array_equal(plan.prices, prices)
+            for a, e in zip(plan.winner_sets, winner_sets):
+                assert np.array_equal(a, e)
+            assert np.array_equal(
+                plan.cover_sizes, np.array([w.size for w in winner_sets], dtype=float)
+            )
+
+
+class TestDPHSRC:
+    @pytest.mark.parametrize("mode", ["default", "cached", "cache-off"])
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_pmf_matches_reference(self, instances, mode, epsilon):
+        engine = engines()[mode]
+        auction = DPHSRCAuction(epsilon=epsilon)
+        for instance in instances:
+            expected = reference_dp_hsrc_pmf(instance, epsilon)
+            actual = _run_under(engine, lambda: auction.price_pmf(instance))
+            assert_pmf_equal(actual, expected)
+
+    def test_cache_hit_is_bit_identical_to_miss(self, instances):
+        instance = instances[0]
+        auction = DPHSRCAuction(epsilon=0.1)
+        with use_engine(SweepEngine()) as engine:
+            first = auction.price_pmf(instance)
+            second = auction.price_pmf(instance)  # served from cache
+        assert engine.hits == 1 and engine.misses == 1
+        assert_pmf_equal(second, first)
+
+    def test_reweight_matches_direct_evaluation(self, instances):
+        instance = instances[0]
+        pmf = DPHSRCAuction(epsilon=0.1).price_pmf(instance)
+        for epsilon in (0.5, 2.0):
+            assert_pmf_equal(
+                reweight_pmf(pmf, instance, epsilon),
+                reference_dp_hsrc_pmf(instance, epsilon),
+            )
+
+
+class TestBaseline:
+    @pytest.mark.parametrize("mode", ["default", "cached", "cache-off"])
+    def test_pmf_matches_reference(self, instances, mode):
+        engine = engines()[mode]
+        auction = BaselineAuction(epsilon=0.1)
+        for instance in instances:
+            expected = reference_baseline_pmf(instance, 0.1)
+            actual = _run_under(engine, lambda: auction.price_pmf(instance))
+            assert_pmf_equal(actual, expected)
+
+
+class TestPermuteFlip:
+    def test_winner_schedule_shares_the_greedy_plan(self, instances):
+        instance = instances[0]
+        prices, winner_sets = reference_winner_schedule(instance, greedy_cover)
+        with use_engine(SweepEngine()) as engine:
+            pmf = PermuteFlipHSRCAuction(epsilon=1.0).price_pmf(instance)
+            DPHSRCAuction(epsilon=0.1).price_pmf(instance)
+        # The exponential original reused the permute-and-flip plan.
+        assert engine.hits == 1 and engine.misses == 1
+        assert np.array_equal(pmf.prices, prices)
+        for a, e in zip(pmf.winner_sets, winner_sets):
+            assert np.array_equal(a, e)
+
+
+class TestOptimal:
+    @pytest.mark.parametrize("mode", ["default", "cached", "cache-off"])
+    def test_matches_reference_sweep(self, instances, mode):
+        engine = engines()[mode]
+        for instance in instances[:2]:
+            price, winners, payment = reference_optimal_total_payment(
+                instance, time_limit_per_solve=30.0
+            )
+            result = _run_under(
+                engine,
+                lambda: optimal_total_payment(instance, time_limit_per_solve=30.0),
+            )
+            assert result.certified
+            assert result.price == price
+            assert np.array_equal(result.winners, winners)
+            assert result.total_payment == payment
+
+    def test_optimal_reuses_the_dp_hsrc_plan(self, instances):
+        instance = instances[0]
+        with use_engine(SweepEngine()) as engine:
+            DPHSRCAuction(epsilon=0.1).price_pmf(instance)
+            result = optimal_total_payment(instance, time_limit_per_solve=30.0)
+        # Same (instance, greedy_cover) key: the sweep was not recomputed.
+        assert engine.hits == 1 and engine.misses == 1
+        assert result.total_payment > 0

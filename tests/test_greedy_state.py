@@ -1,0 +1,118 @@
+"""The resumable greedy API: GreedyState and budget-masked runs.
+
+The sweep engine solves every affordable-worker group of a price sweep
+as a budget-masked restriction of the *full* instance problem through
+one shared :class:`GreedyState`.  The contract is that a masked run is
+bit-for-bit identical to slicing the problem down to the (sorted) masked
+rows and running the plain greedy — same selections, mapped back to
+original indices — for boolean masks, index arrays, and reused states.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import seeded_cover_problem
+from repro.coverage.greedy import GreedyState, greedy_cover
+from repro.coverage.problem import CoverProblem
+from repro.exceptions import InfeasibleError
+
+
+def sliced_selection(problem, candidates):
+    """Plain greedy on the row-sliced sub-problem, mapped to original ids."""
+    sub = CoverProblem(gains=problem.gains[candidates], demands=problem.demands)
+    local = greedy_cover(sub).selection
+    return np.sort(candidates[local])
+
+
+def feasible_masks(problem, rng, n_masks=6):
+    """Random candidate subsets that keep the problem coverable."""
+    masks = []
+    for _ in range(n_masks * 4):
+        keep = rng.random(problem.n_items) < rng.uniform(0.5, 1.0)
+        candidates = np.flatnonzero(keep)
+        coverage = problem.gains[candidates].sum(axis=0)
+        if np.all(coverage >= problem.demands):
+            masks.append(candidates)
+        if len(masks) == n_masks:
+            break
+    assert masks, "seeded workload produced no feasible mask"
+    return masks
+
+
+class TestMaskedEqualsSliced:
+    @given(seed=st.integers(0, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_index_mask_matches_sliced_subproblem(self, seed):
+        problem = seeded_cover_problem(40, 10, seed=seed)
+        rng = np.random.default_rng(seed)
+        for candidates in feasible_masks(problem, rng):
+            masked = greedy_cover(problem, budget_mask=candidates).selection
+            assert np.array_equal(masked, sliced_selection(problem, candidates))
+
+    def test_boolean_mask_equals_index_mask(self):
+        problem = seeded_cover_problem(30, 8, seed=3)
+        [candidates] = feasible_masks(problem, np.random.default_rng(3), n_masks=1)
+        as_bool = np.zeros(30, dtype=bool)
+        as_bool[candidates] = True
+        assert np.array_equal(
+            greedy_cover(problem, budget_mask=candidates).selection,
+            greedy_cover(problem, budget_mask=as_bool).selection,
+        )
+
+    def test_no_mask_equals_full_mask(self):
+        problem = seeded_cover_problem(25, 6, seed=9)
+        assert np.array_equal(
+            greedy_cover(problem).selection,
+            greedy_cover(problem, budget_mask=np.arange(25)).selection,
+        )
+
+
+class TestStateReuse:
+    def test_one_state_solves_many_masks_identically(self):
+        problem = seeded_cover_problem(40, 10, seed=17)
+        rng = np.random.default_rng(17)
+        state = GreedyState(problem)
+        for candidates in feasible_masks(problem, rng):
+            assert np.array_equal(
+                state.solve(budget_mask=candidates).selection,
+                sliced_selection(problem, candidates),
+            )
+
+    def test_state_is_not_consumed_by_a_run(self):
+        problem = seeded_cover_problem(30, 8, seed=21)
+        state = GreedyState(problem)
+        first = state.solve()
+        second = state.solve()
+        assert np.array_equal(first.selection, second.selection)
+        assert first.order == second.order
+
+    def test_state_for_a_different_problem_is_rejected(self):
+        a = seeded_cover_problem(20, 5, seed=1)
+        b = seeded_cover_problem(20, 5, seed=2)
+        with pytest.raises(ValueError, match="different CoverProblem"):
+            greedy_cover(a, state=GreedyState(b))
+
+    def test_trivial_problem_selects_nothing(self):
+        problem = CoverProblem(gains=np.ones((4, 3)), demands=np.zeros(3))
+        result = GreedyState(problem).solve(budget_mask=np.array([2]))
+        assert result.selection.size == 0 and result.order == ()
+
+
+class TestMaskValidation:
+    def test_wrong_shape_boolean_mask_raises(self):
+        problem = seeded_cover_problem(20, 5, seed=4)
+        with pytest.raises(ValueError, match="budget_mask"):
+            greedy_cover(problem, budget_mask=np.ones(19, dtype=bool))
+
+    def test_empty_mask_is_infeasible(self):
+        problem = seeded_cover_problem(20, 5, seed=4)
+        with pytest.raises(InfeasibleError):
+            greedy_cover(problem, budget_mask=np.array([], dtype=int))
+
+    def test_insufficient_mask_is_infeasible(self):
+        problem = seeded_cover_problem(40, 10, seed=6)
+        # A single row cannot meet demands sized for ~30% of total gain.
+        with pytest.raises(InfeasibleError):
+            greedy_cover(problem, budget_mask=np.array([0]))

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.workloads",
     "repro.experiments",
+    "repro.engine",
     "repro.bench",
     "repro.obs",
     "repro.resilience",
