@@ -6,10 +6,14 @@ Times three layers on pinned seeded workloads (see
 repository accumulates a performance trajectory across PRs:
 
 * the greedy set-multicover kernels (vectorized vs the retained
-  reference implementation) → ``BENCH_greedy.json``;
+  reference implementation), plus the ``10^5``-item scale suite (CELF
+  lazy-sparse vs the dense kernel, with a hard refusal when a dense run
+  is requested beyond its cell budget) → ``BENCH_greedy.json``;
 * ``DPHSRCAuction.price_pmf`` (full Algorithm 1 winner-set stage, both
-  kernels) and the :class:`~repro.bench.BatchAuctionRunner` serial /
-  process backends → ``BENCH_auction.json``.
+  kernels, and the ``10^5``-worker auto-dispatch scenarios) and the
+  :class:`~repro.bench.BatchAuctionRunner` serial / process backends
+  over both instance transports (pickle and shared memory)
+  → ``BENCH_auction.json``.
 
 Usage::
 
@@ -53,8 +57,14 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 import numpy as np  # noqa: E402
 
 from repro.bench import BENCH_SETTING, BatchAuctionRunner, seeded_auction_batch  # noqa: E402
-from repro.bench.workloads import seeded_cover_problem  # noqa: E402
+from repro.bench.workloads import (  # noqa: E402
+    seeded_cover_problem,
+    seeded_sparse_cover_problem,
+)
+from repro.coverage.dispatch import use_lazy_kernel  # noqa: E402
 from repro.coverage.greedy import greedy_cover, static_order_cover  # noqa: E402
+from repro.coverage.lazy import lazy_sparse_greedy_cover  # noqa: E402
+from repro.coverage.problem import CoverProblem  # noqa: E402
 from repro.coverage.reference import (  # noqa: E402
     reference_greedy_cover,
     reference_static_order_cover,
@@ -70,8 +80,47 @@ SCHEMA = "repro-bench/2"
 FULL_GREEDY_SHAPES = [(500, 30), (1000, 50), (2000, 50)]
 SMOKE_GREEDY_SHAPES = [(60, 8), (120, 10)]
 
+#: Pinned scale workloads (CSR-native, see seeded_sparse_cover_problem):
+#: the many-subarea regime where the CELF kernel is the only practical
+#: solver — density 0.008–0.04, covers in the hundreds.
+FULL_SCALE_SHAPES = [(20_000, 500), (100_000, 1000)]
+SMOKE_SCALE_SHAPES = [(5_000, 200)]
+
+#: Pinned auction-scale scenarios: (n_workers, n_tasks).  The narrow
+#: K=8 shape auto-dispatches to the dense kernel (density ~0.5); the
+#: 200-subarea shape auto-dispatches to lazy-sparse (density ~0.02).
+FULL_SCALE_AUCTIONS = [(100_000, 8), (20_000, 200)]
+SMOKE_SCALE_AUCTIONS = [(2_000, 8)]
+
+#: The dense kernel materializes (and rescans every step) the full
+#: N x K gain matrix; past this many cells a dense scale run is refused
+#: outright with an actionable message instead of grinding toward a
+#: MemoryError.  5e7 cells = 400 MB of float64 gains plus the kernel's
+#: working copies.
+DENSE_SCALE_CELL_LIMIT = 50_000_000
+
 WORKLOAD_SEED = 2016
 MASTER_RUN_SEED = 7
+
+
+def check_dense_scale(n_items: int, n_constraints: int) -> None:
+    """Refuse a dense-kernel scale run that cannot realistically finish.
+
+    Raises ``SystemExit`` with an actionable message — naming the
+    ``--scale-solver lazy_sparse`` alternative — instead of letting the
+    harness crawl into a raw ``MemoryError`` while allocating and
+    rescanning the ``N x K`` dense gain matrix.
+    """
+    cells = n_items * n_constraints
+    if cells > DENSE_SCALE_CELL_LIMIT:
+        raise SystemExit(
+            f"dense cover kernel refused at N={n_items:,}, K={n_constraints:,}: "
+            f"{cells:,} gain cells exceed the dense budget of "
+            f"{DENSE_SCALE_CELL_LIMIT:,} cells ({cells * 8 / 1e9:.1f} GB of "
+            "float64 gains, rescanned on every greedy step). "
+            "Re-run with --scale-solver lazy_sparse: the CELF kernel streams "
+            "the CSR instance and never materializes the dense matrix."
+        )
 
 
 def best_of(fn, repeats: int) -> tuple[float, object]:
@@ -153,6 +202,83 @@ def bench_greedy(shapes, repeats: int, ref_repeats: int, trace: MetricsRecorder)
     return results
 
 
+def bench_greedy_scale(
+    shapes, scale_solver: str, repeats: int, trace: MetricsRecorder
+) -> list[dict]:
+    """CELF lazy-sparse kernel on CSR-native ``10^5``-item workloads.
+
+    The headline timing is always the lazy kernel on the CSR instance.
+    Where the shape fits the dense cell budget the densified problem is
+    also solved once and the two selections are asserted bit-identical;
+    beyond the budget the entry records the refusal message instead
+    (``--scale-solver dense`` turns that refusal into a hard exit).
+    """
+    results = []
+    for n_items, n_constraints in shapes:
+        if scale_solver == "dense":
+            check_dense_scale(n_items, n_constraints)
+        problem = seeded_sparse_cover_problem(n_items, n_constraints, seed=WORKLOAD_SEED)
+        # One repeat at 10^5 items: a single solve is seconds, and
+        # best-of only sharpens sub-millisecond noise.
+        scale_repeats = repeats if n_items < 50_000 else 1
+        lazy_s, lazy = best_of(lambda: lazy_sparse_greedy_cover(problem), scale_repeats)
+        entry = {
+            "name": "lazy_sparse_greedy_cover",
+            "n_items": n_items,
+            "n_constraints": n_constraints,
+            "nnz": problem.nnz,
+            "density": problem.density,
+            "seed": WORKLOAD_SEED,
+            "repeats": scale_repeats,
+            "cover_size": lazy.size,
+            "lazy_sparse_seconds": lazy_s,
+        }
+        cells = n_items * n_constraints
+        if cells <= DENSE_SCALE_CELL_LIMIT:
+            dense_s, dense = best_of(lambda: greedy_cover(problem.to_problem()), 1)
+            if dense.order != lazy.order:
+                raise AssertionError(
+                    f"lazy/dense divergence at N={n_items}, K={n_constraints}"
+                )
+            entry["dense_seconds"] = dense_s
+            entry["speedup"] = dense_s / lazy_s if lazy_s > 0 else float("inf")
+            entry["match"] = True
+            comparison = (
+                f"dense={dense_s * 1e3:9.2f} ms speedup={entry['speedup']:6.1f}x"
+            )
+        else:
+            try:
+                check_dense_scale(n_items, n_constraints)
+            except SystemExit as refusal:
+                entry["dense_status"] = f"refused: {refusal}"
+            comparison = "dense=refused (beyond cell budget)"
+        # Instrumented pass outside the timing loop: CELF's
+        # calls/iterations/evaluations counters for the v2 metrics
+        # block, plus the outcome-invariance check.
+        recorder = MetricsRecorder()
+        with use_recorder(recorder):
+            with recorder.span(
+                "greedy_scale",
+                "bench.lazy_sparse_greedy_cover",
+                n_items=n_items,
+                n_constraints=n_constraints,
+            ):
+                instrumented = lazy_sparse_greedy_cover(problem)
+        if instrumented.order != lazy.order:
+            raise AssertionError(
+                f"lazy kernel instrumented/uninstrumented divergence at "
+                f"N={n_items}, K={n_constraints}"
+            )
+        trace.merge(recorder)
+        entry["metrics"] = recorder_metrics(recorder)
+        results.append(entry)
+        print(
+            f"  {'lazy_sparse':>20} N={n_items:<6} K={n_constraints:<4} "
+            f"|S|={lazy.size:<4} lazy={lazy_s * 1e3:8.2f} ms {comparison}"
+        )
+    return results
+
+
 def bench_price_pmf(smoke: bool, repeats: int, trace: MetricsRecorder) -> list[dict]:
     """Full Algorithm 1 winner-set stage, vectorized and reference kernels."""
     results = []
@@ -208,6 +334,70 @@ def bench_price_pmf(smoke: bool, repeats: int, trace: MetricsRecorder) -> list[d
             f"  {'price_pmf':>20} N={n_workers:<5} K={n_tasks:<4} "
             f"|P|={vec_pmf.support_size:<4} vec={vec_s * 1e3:8.2f} ms "
             f"ref={ref_s * 1e3:9.2f} ms speedup={ref_s / vec_s:6.1f}x"
+        )
+    return results
+
+
+def bench_price_pmf_scale(smoke: bool, repeats: int, trace: MetricsRecorder) -> list[dict]:
+    """Full Algorithm 1 at ``10^5`` workers under kernel auto-dispatch.
+
+    The headline timing runs ``cover_solver="auto"``; the entry records
+    which kernel the dispatcher picked and cross-checks the *other*
+    kernel once, asserting the PMF (probabilities and winner sets) is
+    bit-identical — dispatch is a pure performance decision.
+    """
+    results = []
+    configs = SMOKE_SCALE_AUCTIONS if smoke else FULL_SCALE_AUCTIONS
+    for n_workers, n_tasks in configs:
+        [instance] = seeded_auction_batch(
+            1, n_workers=n_workers, n_tasks=n_tasks, seed=WORKLOAD_SEED
+        )
+        picked_lazy = use_lazy_kernel(
+            CoverProblem(gains=instance.effective_quality, demands=instance.demands)
+        )
+        auto_mech = DPHSRCAuction(epsilon=BENCH_SETTING.epsilon)
+        alt_name = "dense" if picked_lazy else "lazy_sparse"
+        alt_mech = DPHSRCAuction(epsilon=BENCH_SETTING.epsilon, cover_solver=alt_name)
+        scale_repeats = repeats if n_workers < 50_000 else 1
+        auto_s, auto_pmf = best_of(lambda: auto_mech.price_pmf(instance), scale_repeats)
+        alt_s, alt_pmf = best_of(lambda: alt_mech.price_pmf(instance), 1)
+        if not (
+            np.array_equal(auto_pmf.probabilities, alt_pmf.probabilities)
+            and all(
+                np.array_equal(a, b)
+                for a, b in zip(auto_pmf.winner_sets, alt_pmf.winner_sets)
+            )
+        ):
+            raise AssertionError(
+                f"price_pmf kernels diverged at N={n_workers}, K={n_tasks}"
+            )
+        recorder = MetricsRecorder()
+        with use_recorder(recorder):
+            obs_pmf = auto_mech.price_pmf(instance)
+        if not np.array_equal(obs_pmf.probabilities, auto_pmf.probabilities):
+            raise AssertionError("scale price_pmf diverged with a recorder installed")
+        trace.merge(recorder)
+        results.append(
+            {
+                "name": "price_pmf_scale",
+                "n_workers": n_workers,
+                "n_tasks": n_tasks,
+                "seed": WORKLOAD_SEED,
+                "repeats": scale_repeats,
+                "dispatch": "lazy_sparse" if picked_lazy else "dense",
+                "support_size": auto_pmf.support_size,
+                "mean_cover_size": float(np.mean(auto_pmf.cover_sizes)),
+                "auto_seconds": auto_s,
+                "alt_kernel": alt_name,
+                "alt_seconds": alt_s,
+                "match": True,
+                "metrics": recorder_metrics(recorder),
+            }
+        )
+        print(
+            f"  {'price_pmf_scale':>20} N={n_workers:<6} K={n_tasks:<4} "
+            f"auto[{results[-1]['dispatch']}]={auto_s * 1e3:8.2f} ms "
+            f"{alt_name}={alt_s * 1e3:9.2f} ms match=True"
         )
     return results
 
@@ -319,6 +509,7 @@ def bench_batch_runner(smoke: bool, trace: MetricsRecorder) -> list[dict]:
         {
             "name": "batch_runner",
             "backend": "serial",
+            "transport": "pickle",
             "n_instances": n_instances,
             "n_workers_per_instance": n_workers,
             "max_workers": 1,
@@ -349,6 +540,7 @@ def bench_batch_runner(smoke: bool, trace: MetricsRecorder) -> list[dict]:
             {
                 "name": "batch_runner",
                 "backend": "process",
+                "transport": "pickle",
                 "n_instances": n_instances,
                 "n_workers_per_instance": n_workers,
                 "max_workers": workers,
@@ -364,6 +556,44 @@ def bench_batch_runner(smoke: bool, trace: MetricsRecorder) -> list[dict]:
             f"  {'batch_runner':>20} B={n_instances:<4} backend=process:{workers} "
             f"{pooled.wall_time * 1e3:8.2f} ms identical=True"
         )
+    # Zero-copy transport: the same pooled run with instances attached
+    # via multiprocessing.shared_memory instead of pickled per task.
+    # Outcomes and deterministically merged counters must both match the
+    # serial pickle run bit-for-bit.
+    shm_rec = MetricsRecorder()
+    shm = BatchAuctionRunner(
+        mechanism, backend="process", max_workers=2, transport="shared_memory"
+    ).run(batch, seed=MASTER_RUN_SEED, recorder=shm_rec)
+    if not all(
+        a.price == b.price and np.array_equal(a.winners, b.winners)
+        for a, b in zip(serial.outcomes, shm.outcomes)
+    ):
+        raise AssertionError("shared-memory and pickle outcomes diverged")
+    if serial_rec.counters != shm_rec.counters:
+        raise AssertionError("merged counters diverged between transports")
+    timed_shm = BatchAuctionRunner(
+        mechanism, backend="process", max_workers=2, transport="shared_memory"
+    ).run(batch, seed=MASTER_RUN_SEED)
+    results.append(
+        {
+            "name": "batch_runner",
+            "backend": "process",
+            "transport": "shared_memory",
+            "n_instances": n_instances,
+            "n_workers_per_instance": n_workers,
+            "max_workers": 2,
+            "seed": MASTER_RUN_SEED,
+            "seconds": timed_shm.wall_time,
+            "mean_winners": float(np.mean([o.n_winners for o in timed_shm.outcomes])),
+            "identical_to_serial": True,
+            "metrics": recorder_metrics(shm_rec),
+            "metrics_identical_to_serial": True,
+        }
+    )
+    print(
+        f"  {'batch_runner':>20} B={n_instances:<4} backend=process:2 shm "
+        f"{timed_shm.wall_time * 1e3:8.2f} ms identical=True"
+    )
     return results
 
 
@@ -398,7 +628,22 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write the merged JSON-lines trace of the instrumented passes",
     )
+    parser.add_argument(
+        "--scale-solver",
+        choices=("lazy_sparse", "dense"),
+        default="lazy_sparse",
+        help=(
+            "kernel demanded for the scale suite; 'dense' exits with a clear "
+            "refusal on shapes beyond the dense cell budget"
+        ),
+    )
     args = parser.parse_args(argv)
+    scale_shapes = SMOKE_SCALE_SHAPES if args.smoke else FULL_SCALE_SHAPES
+    if args.scale_solver == "dense":
+        # Fail fast — before any timing loop runs — if a dense kernel is
+        # demanded for a shape it cannot realistically solve.
+        for n_items, n_constraints in scale_shapes:
+            check_dense_scale(n_items, n_constraints)
     args.out_dir.mkdir(parents=True, exist_ok=True)
     trace = MetricsRecorder()
 
@@ -408,6 +653,13 @@ def main(argv: list[str] | None = None) -> int:
         shapes,
         repeats=args.repeats,
         ref_repeats=1 if not args.smoke else args.repeats,
+        trace=trace,
+    )
+    print("greedy kernels at scale:")
+    greedy_results += bench_greedy_scale(
+        scale_shapes,
+        scale_solver=args.scale_solver,
+        repeats=args.repeats,
         trace=trace,
     )
     greedy_doc = {
@@ -427,6 +679,7 @@ def main(argv: list[str] | None = None) -> int:
         "smoke": args.smoke,
         "environment": environment(),
         "results": bench_price_pmf(args.smoke, args.repeats, trace)
+        + bench_price_pmf_scale(args.smoke, args.repeats, trace)
         + bench_multi_mechanism(args.smoke, args.repeats, trace)
         + bench_batch_runner(args.smoke, trace),
     }

@@ -34,7 +34,8 @@ import logging as _logging
 _logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 from repro.auction import AuctionInstance, AuctionOutcome, Bid, BidProfile, Mechanism, PricePMF
-from repro.bench import BatchAuctionRunner, BatchRunResult
+from repro.bench import BatchAuctionRunner, BatchRunResult, SharedInstanceBatch
+from repro.coverage import LazyGreedyState, SparseCoverage, lazy_sparse_greedy_cover
 from repro.engine import SweepEngine, SweepPlan, current_engine, use_engine
 from repro.mechanisms import (
     BaselineAuction,
@@ -95,6 +96,11 @@ __all__ = [
     # batched execution
     "BatchAuctionRunner",
     "BatchRunResult",
+    "SharedInstanceBatch",
+    # scale kernels
+    "SparseCoverage",
+    "LazyGreedyState",
+    "lazy_sparse_greedy_cover",
     # sweep engine
     "SweepEngine",
     "SweepPlan",

@@ -13,6 +13,10 @@ measurable and scalable:
   (cover problems and auction batches) shared by ``scripts/bench.py``,
   the regression tests, and CI's smoke job, so every ``BENCH_*.json``
   point is reproducible.
+* :mod:`repro.bench.shm` — the zero-copy columnar instance layout that
+  lets the runner's process workers attach batches through
+  ``multiprocessing.shared_memory`` (``transport="shared_memory"``)
+  instead of pickling every instance.
 
 ``scripts/bench.py`` ties them together into the benchmark-regression
 harness that writes ``BENCH_greedy.json`` and ``BENCH_auction.json``.
@@ -25,12 +29,30 @@ the batch — see ``docs/RESILIENCE.md``.
 """
 
 from repro.bench.batch import BatchAuctionRunner, BatchRunResult
-from repro.bench.workloads import BENCH_SETTING, seeded_auction_batch, seeded_cover_problem
+from repro.bench.shm import (
+    ColumnarBatch,
+    SharedBatchHandle,
+    SharedInstanceBatch,
+    list_batch_segments,
+    pack_instances,
+)
+from repro.bench.workloads import (
+    BENCH_SETTING,
+    seeded_auction_batch,
+    seeded_cover_problem,
+    seeded_sparse_cover_problem,
+)
 
 __all__ = [
     "BatchAuctionRunner",
     "BatchRunResult",
     "BENCH_SETTING",
+    "ColumnarBatch",
+    "SharedBatchHandle",
+    "SharedInstanceBatch",
+    "list_batch_segments",
+    "pack_instances",
     "seeded_auction_batch",
     "seeded_cover_problem",
+    "seeded_sparse_cover_problem",
 ]

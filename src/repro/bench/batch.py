@@ -42,6 +42,7 @@ from repro.auction.mechanism import Mechanism
 from repro.auction.outcome import AuctionOutcome
 from repro.engine.engine import scoped_engine, use_engine
 from repro.exceptions import InstanceExecutionError
+from repro.bench.shm import SharedBatchHandle, SharedInstanceBatch, attach_batch
 from repro.obs import MetricsRecorder, Recorder, current_recorder, use_recorder
 from repro.resilience.context import current_resilience
 from repro.resilience.faults import FaultPlan, ensure_outcome_sane
@@ -57,6 +58,9 @@ _BACKENDS = ("auto", "serial", "process")
 
 #: Quarantine/raise policies accepted by :class:`BatchAuctionRunner`.
 _ON_ERROR = ("quarantine", "raise")
+
+#: Instance transports accepted by :class:`BatchAuctionRunner`.
+_TRANSPORTS = ("pickle", "shared_memory")
 
 
 def _run_one(
@@ -130,6 +134,31 @@ def _run_one_guarded(
         return outcome, snapshot, None
     except Exception as exc:  # noqa: BLE001 - the whole point is containment
         return None, None, exc
+
+
+def _run_one_shared_guarded(
+    mechanism: Mechanism,
+    handle: SharedBatchHandle,
+    seed: np.random.SeedSequence,
+    collect_metrics: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    index: int = 0,
+) -> tuple[Optional[AuctionOutcome], Optional[dict], Optional[Exception]]:
+    """:func:`_run_one_guarded` over a shared-memory instance.
+
+    The pool worker attaches the batch's segment (once per process, via
+    :func:`repro.bench.shm.attach_batch`) and rebuilds instance ``index``
+    from zero-copy views instead of receiving it pickled.  Attachment
+    failures are contained like execution failures, so a bad segment
+    quarantines the instance rather than poisoning the pool.
+    """
+    try:
+        instance = attach_batch(handle).unpack(int(index))
+    except Exception as exc:  # noqa: BLE001 - containment, as above
+        return None, None, exc
+    return _run_one_guarded(
+        mechanism, instance, seed, collect_metrics, fault_plan, index
+    )
 
 
 @dataclass(frozen=True)
@@ -207,6 +236,19 @@ class BatchAuctionRunner:
         capped by the batch size.
     process_threshold:
         Minimum batch size for ``auto`` to choose the process pool.
+    transport:
+        How instances reach the execution site: ``"pickle"`` (default —
+        instances are serialized into each pool worker) or
+        ``"shared_memory"`` — the batch is packed once into a columnar
+        :class:`~repro.bench.shm.SharedInstanceBatch` and every
+        execution rebuilds its instance from zero-copy views of the
+        segment (the serial backend round-trips through the same
+        segment, keeping the two backends bit-identical).  The packed
+        values are value-faithful, so outcomes and merged metrics are
+        identical across transports too; retries run from the original
+        in-process instances either way.  The segment is closed and
+        unlinked in a ``finally``, so no ``/dev/shm`` entry survives the
+        call.
     retry:
         :class:`~repro.resilience.RetryPolicy` for transient instance
         failures.  ``None`` falls back to the ambient
@@ -247,6 +289,7 @@ class BatchAuctionRunner:
         backend: str = "auto",
         max_workers: int | None = None,
         process_threshold: int = 8,
+        transport: str = "pickle",
         retry: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         on_error: str = "quarantine",
@@ -258,8 +301,13 @@ class BatchAuctionRunner:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
         if on_error not in _ON_ERROR:
             raise ValueError(f"on_error must be one of {_ON_ERROR}, got {on_error!r}")
+        if transport not in _TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {_TRANSPORTS}, got {transport!r}"
+            )
         self.mechanism = mechanism
         self.backend = backend
+        self.transport = transport
         self.max_workers = max_workers
         self.process_threshold = int(process_threshold)
         self.retry = retry
@@ -325,36 +373,68 @@ class BatchAuctionRunner:
         retry = self.retry if self.retry is not None else ambient.retry
         fault_plan = self.fault_plan if self.fault_plan is not None else ambient.fault_plan
         n = len(instances)
+        shared = None
+        if self.transport == "shared_memory" and n:
+            shared = SharedInstanceBatch.create(instances)
         start = time.perf_counter()
-        with sink.span(
-            "batch",
-            f"batch.{self.mechanism.name}",
-            backend=backend,
-            max_workers=workers,
-            n_instances=n,
-        ):
-            if backend == "serial":
-                triples = [
-                    _run_one_guarded(self.mechanism, instance, child, collect, fault_plan, i)
-                    for i, (instance, child) in enumerate(zip(instances, seeds))
-                ]
-            else:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    triples = list(
-                        pool.map(
-                            _run_one_guarded,
-                            [self.mechanism] * n,
-                            instances,
-                            seeds,
-                            [collect] * n,
-                            [fault_plan] * n,
-                            range(n),
-                            chunksize=max(1, n // (4 * workers) or 1),
+        try:
+            with sink.span(
+                "batch",
+                f"batch.{self.mechanism.name}",
+                backend=backend,
+                max_workers=workers,
+                n_instances=n,
+                transport=self.transport,
+            ):
+                if backend == "serial":
+                    triples = []
+                    for i, child in enumerate(seeds):
+                        # With shared memory the serial path round-trips
+                        # each instance through the segment, exactly as a
+                        # pool worker would — the backends must not differ.
+                        instance = (
+                            instances[i] if shared is None else shared.batch.unpack(i)
                         )
-                    )
-            outcomes, snapshots, failed = self._settle(
-                triples, instances, seeds, retry, fault_plan, collect, sink
-            )
+                        triples.append(
+                            _run_one_guarded(
+                                self.mechanism, instance, child, collect, fault_plan, i
+                            )
+                        )
+                        del instance
+                elif shared is None:
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        triples = list(
+                            pool.map(
+                                _run_one_guarded,
+                                [self.mechanism] * n,
+                                instances,
+                                seeds,
+                                [collect] * n,
+                                [fault_plan] * n,
+                                range(n),
+                                chunksize=max(1, n // (4 * workers) or 1),
+                            )
+                        )
+                else:
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        triples = list(
+                            pool.map(
+                                _run_one_shared_guarded,
+                                [self.mechanism] * n,
+                                [shared.handle] * n,
+                                seeds,
+                                [collect] * n,
+                                [fault_plan] * n,
+                                range(n),
+                                chunksize=max(1, n // (4 * workers) or 1),
+                            )
+                        )
+                outcomes, snapshots, failed = self._settle(
+                    triples, instances, seeds, retry, fault_plan, collect, sink
+                )
+        finally:
+            if shared is not None:
+                shared.dispose()
         wall = time.perf_counter() - start
         if collect:
             for snapshot in snapshots:

@@ -20,6 +20,12 @@ The greedy kernels are vectorized; :mod:`repro.coverage.reference`
 retains the per-item-scan reference implementations they are validated
 against bit-for-bit (and benchmarked against in ``BENCH_greedy.json``).
 
+For the ROADMAP's ``10^5``-plus scale, :mod:`repro.coverage.sparse`
+stores instances in CSR form and :mod:`repro.coverage.lazy` provides a
+CELF-style lazy greedy pinned bit-for-bit against the dense kernel;
+:mod:`repro.coverage.dispatch` picks between them (``cover_solver="auto"``)
+by a deterministic size/density rule.
+
 All solvers operate on :class:`~repro.coverage.problem.CoverProblem`,
 which is independent of auctions: gains are any non-negative matrix and
 demands any non-negative vector.
@@ -27,6 +33,13 @@ demands any non-negative vector.
 
 from repro.coverage.problem import CoverProblem
 from repro.coverage.greedy import GreedyResult, greedy_cover, static_order_cover
+from repro.coverage.sparse import SparseCoverage
+from repro.coverage.lazy import LazyGreedyState, lazy_sparse_greedy_cover
+from repro.coverage.dispatch import (
+    auto_cover_solver,
+    resolve_cover_solver,
+    use_lazy_kernel,
+)
 from repro.coverage.reference import reference_greedy_cover, reference_static_order_cover
 from repro.coverage.exact import ExactResult, solve_exact
 from repro.coverage.rounding import RoundingResult, randomized_rounding_cover
@@ -44,6 +57,12 @@ __all__ = [
     "GreedyResult",
     "greedy_cover",
     "static_order_cover",
+    "SparseCoverage",
+    "LazyGreedyState",
+    "lazy_sparse_greedy_cover",
+    "auto_cover_solver",
+    "resolve_cover_solver",
+    "use_lazy_kernel",
     "reference_greedy_cover",
     "reference_static_order_cover",
     "ExactResult",

@@ -26,7 +26,8 @@ from typing import Callable
 import numpy as np
 
 from repro.auction.instance import AuctionInstance
-from repro.coverage.greedy import GreedyResult, GreedyState, greedy_cover
+from repro.coverage.dispatch import shared_cover_state
+from repro.coverage.greedy import GreedyResult, greedy_cover
 from repro.coverage.problem import CoverProblem
 from repro.engine.price_set import (
     PriceGroup,
@@ -108,12 +109,16 @@ def build_plan(
     grouping cache is shared across solvers — passes it via ``grouping``
     and skips steps 1–2 (and the ``price_set`` span).
 
-    When ``cover_solver`` is the default
-    :func:`~repro.coverage.greedy.greedy_cover`, the groups are solved as
-    budget-masked restrictions of the full-instance problem through one
-    shared :class:`~repro.coverage.greedy.GreedyState` — no per-group
-    gain-matrix slice, bit-for-bit identical selections.  Any other
-    solver receives each group's standalone sub-problem.
+    When ``cover_solver`` is one of the greedy kernels (dense
+    :func:`~repro.coverage.greedy.greedy_cover`, CELF
+    :func:`~repro.coverage.lazy.lazy_sparse_greedy_cover`, or the
+    auto-dispatching default), the groups are solved as budget-masked
+    restrictions of the full-instance problem through one shared state
+    (:func:`~repro.coverage.dispatch.shared_cover_state`) — no per-group
+    gain-matrix slice, and the initial truncated-gain evaluation
+    warm-starts every group since it is independent of the budget mask.
+    Bit-for-bit identical selections either way.  Any other solver
+    receives each group's standalone sub-problem.
 
     Raises
     ------
@@ -131,11 +136,10 @@ def build_plan(
     else:
         prices, groups = grouping
 
-    state = None
-    if cover_solver is greedy_cover:
-        state = GreedyState(
-            CoverProblem(gains=instance.effective_quality, demands=instance.demands)
-        )
+    state = shared_cover_state(
+        cover_solver,
+        CoverProblem(gains=instance.effective_quality, demands=instance.demands),
+    )
 
     winner_sets: list[np.ndarray] = [None] * prices.size  # type: ignore[list-item]
     group_selections: list[np.ndarray] = []

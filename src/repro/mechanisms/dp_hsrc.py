@@ -35,7 +35,8 @@ import numpy as np
 
 from repro.auction.instance import AuctionInstance
 from repro.auction.mechanism import Mechanism, PricePMF
-from repro.coverage.greedy import GreedyResult, greedy_cover
+from repro.coverage.dispatch import resolve_cover_solver
+from repro.coverage.greedy import GreedyResult
 from repro.coverage.problem import CoverProblem
 from repro.engine.engine import current_engine
 from repro.obs import current_recorder
@@ -79,13 +80,17 @@ class DPHSRCAuction(Mechanism):
     cover_solver:
         The winner-set kernel mapping a
         :class:`~repro.coverage.problem.CoverProblem` to a
-        :class:`~repro.coverage.greedy.GreedyResult`.  Defaults to the
-        vectorized :func:`~repro.coverage.greedy.greedy_cover`; the
-        benchmark harness injects
+        :class:`~repro.coverage.greedy.GreedyResult` — either a
+        module-level callable (so the mechanism stays picklable) or a
+        registered name resolved by
+        :func:`~repro.coverage.dispatch.resolve_cover_solver`:
+        ``"auto"`` (the default — per-problem size/density dispatch
+        between the dense and the CELF lazy-sparse kernels, which are
+        pinned bit-for-bit equal), ``"dense"``/``"greedy"``, or
+        ``"lazy_sparse"``.  The benchmark harness injects
         :func:`~repro.coverage.reference.reference_greedy_cover` here to
-        measure the kernel speedup end-to-end.  Must be a module-level
-        callable for the mechanism to stay picklable.  Together with the
-        instance it also keys the ambient
+        measure the kernel speedup end-to-end.  Together with the
+        instance the resolved callable also keys the ambient
         :class:`~repro.engine.SweepEngine`'s plan cache: mechanisms
         sharing a solver (e.g. every DP-hSRC variant at any ε) share one
         cached sweep per instance.
@@ -119,12 +124,12 @@ class DPHSRCAuction(Mechanism):
         self,
         epsilon: float,
         *,
-        cover_solver: Callable[[CoverProblem], GreedyResult] = greedy_cover,
+        cover_solver: str | Callable[[CoverProblem], GreedyResult] = "auto",
         record_ledger: bool = True,
     ) -> None:
         validation.require_positive(epsilon, "epsilon")
         self.epsilon = float(epsilon)
-        self.cover_solver = cover_solver
+        self.cover_solver = resolve_cover_solver(cover_solver)
         self.record_ledger = bool(record_ledger)
 
     def price_pmf(self, instance: AuctionInstance) -> PricePMF:

@@ -37,7 +37,7 @@ import numpy as np
 from repro.auction.instance import AuctionInstance
 from repro.auction.mechanism import Mechanism, PricePMF
 from repro.coverage.exact import solve_exact
-from repro.coverage.greedy import greedy_cover
+from repro.coverage.dispatch import auto_cover_solver
 from repro.coverage.lp import lp_lower_bound
 from repro.engine.engine import current_engine
 from repro.tolerances import DEMAND_TOL
@@ -105,7 +105,9 @@ def optimal_total_payment(
     # The sweep plan supplies the price set, groups, and the per-group
     # greedy covers (the historical upper-bound pass) — shared with any
     # other greedy-backed mechanism evaluated on this instance.
-    plan = current_engine().plan(instance, greedy_cover, label="optimal")
+    # Same default solver identity as DPHSRCAuction("auto"), so the
+    # exact pass reuses any cached DP-hSRC sweep for this instance.
+    plan = current_engine().plan(instance, auto_cover_solver, label="optimal")
     prices, groups = plan.prices, plan.groups
 
     # Cheap certified bounds per group.  Group price = its lowest price

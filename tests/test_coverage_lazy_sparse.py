@@ -1,0 +1,297 @@
+"""The lazy-sparse CELF kernel is pinned bit-for-bit against the dense one.
+
+Every test here compares :func:`repro.coverage.lazy.lazy_sparse_greedy_cover`
+(and :class:`~repro.coverage.lazy.LazyGreedyState`) against
+:func:`repro.coverage.greedy.greedy_cover` on the same instance: same
+winners, same selection order, same cover size, and the same
+:class:`~repro.exceptions.InfeasibleError` verdict with the same message.
+The hypothesis strategies deliberately hit the regimes where lazy
+kernels classically diverge — duplicate-gain ties, near-degenerate
+demands, arbitrary budget masks — and the degenerate shapes (empty
+coverage, a single item, everything affordable).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.coverage.dispatch import (
+    AUTO_SPARSE_MAX_DENSITY,
+    AUTO_SPARSE_MIN_ITEMS,
+    auto_cover_solver,
+    resolve_cover_solver,
+    use_lazy_kernel,
+)
+from repro.coverage.greedy import GreedyState, greedy_cover
+from repro.coverage.lazy import LazyGreedyState, lazy_sparse_greedy_cover
+from repro.coverage.problem import CoverProblem
+from repro.coverage.sparse import SparseCoverage
+from repro.exceptions import InfeasibleError, ValidationError
+
+
+def assert_same_result(problem, budget_mask=None):
+    """Dense and lazy agree exactly — result or infeasibility verdict."""
+    try:
+        dense = greedy_cover(problem, budget_mask=budget_mask)
+    except InfeasibleError as exc:
+        with pytest.raises(InfeasibleError) as caught:
+            lazy_sparse_greedy_cover(problem, budget_mask=budget_mask)
+        assert str(caught.value) == str(exc)
+        return None
+    lazy = lazy_sparse_greedy_cover(problem, budget_mask=budget_mask)
+    assert lazy.order == dense.order
+    assert np.array_equal(lazy.selection, dense.selection)
+    assert lazy.size == dense.size
+    return dense
+
+
+def tie_problems(max_items=14, max_constraints=5):
+    """Lattice-valued gains: duplicate marginal gains are the common case."""
+
+    @st.composite
+    def build(draw):
+        n_items = draw(st.integers(1, max_items))
+        n_constraints = draw(st.integers(1, max_constraints))
+        gains = draw(
+            arrays(
+                dtype=np.float64,
+                shape=(n_items, n_constraints),
+                elements=st.sampled_from([0.0, 0.1, 0.25, 0.5, 0.75, 1.0]),
+            )
+        )
+        demand_scale = draw(st.floats(0.1, 0.9))
+        return CoverProblem(gains=gains, demands=gains.sum(axis=0) * demand_scale)
+
+    return build()
+
+
+def random_density_problems(max_items=30, max_constraints=8):
+    """Continuous gains at a drawn density, possibly infeasible demands."""
+
+    @st.composite
+    def build(draw):
+        n_items = draw(st.integers(1, max_items))
+        n_constraints = draw(st.integers(1, max_constraints))
+        density = draw(st.floats(0.0, 1.0))
+        seed = draw(st.integers(0, 2**31 - 1))
+        rng = np.random.default_rng(seed)
+        gains = rng.uniform(0.1, 1.0, size=(n_items, n_constraints))
+        gains[rng.random(gains.shape) >= density] = 0.0
+        # demand_scale > 1 makes some instances infeasible on purpose:
+        # the verdict (and its message) must match the dense kernel too.
+        demand_scale = draw(st.floats(0.0, 1.3))
+        return CoverProblem(gains=gains, demands=gains.sum(axis=0) * demand_scale)
+
+    return build()
+
+
+class TestBitForBitEquivalence:
+    @given(problem=tie_problems())
+    @settings(max_examples=80, deadline=None)
+    def test_ties_resolve_identically(self, problem):
+        assert_same_result(problem)
+
+    @given(problem=random_density_problems())
+    @settings(max_examples=80, deadline=None)
+    def test_random_densities_match_including_infeasible(self, problem):
+        assert_same_result(problem)
+
+    @given(problem=random_density_problems(max_items=16), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_budget_masks_match(self, problem, data):
+        mask = np.array(
+            data.draw(
+                st.lists(
+                    st.booleans(),
+                    min_size=problem.n_items,
+                    max_size=problem.n_items,
+                )
+            )
+        )
+        assert_same_result(problem, budget_mask=mask)
+
+    @given(problem=tie_problems(max_items=10))
+    @settings(max_examples=40, deadline=None)
+    def test_sparse_input_equals_dense_input(self, problem):
+        sparse = SparseCoverage.from_problem(problem)
+        try:
+            dense = greedy_cover(problem)
+        except InfeasibleError:
+            with pytest.raises(InfeasibleError):
+                lazy_sparse_greedy_cover(sparse)
+            return
+        lazy = lazy_sparse_greedy_cover(sparse)
+        assert lazy.order == dense.order
+        assert np.array_equal(lazy.selection, dense.selection)
+
+
+class TestDegenerateInstances:
+    def test_empty_coverage_zero_demands_selects_nothing(self):
+        problem = CoverProblem(gains=np.zeros((4, 3)), demands=np.zeros(3))
+        result = assert_same_result(problem)
+        assert result.size == 0
+        assert result.order == ()
+
+    def test_empty_coverage_positive_demands_is_infeasible(self):
+        problem = CoverProblem(gains=np.zeros((4, 3)), demands=np.ones(3))
+        assert_same_result(problem)  # asserts matching InfeasibleError
+
+    def test_single_item(self):
+        problem = CoverProblem(gains=np.array([[0.5, 0.8]]), demands=np.array([0.4, 0.6]))
+        result = assert_same_result(problem)
+        assert result.order == (0,)
+
+    def test_all_items_affordable_mask_equals_no_mask(self):
+        rng = np.random.default_rng(5)
+        gains = rng.uniform(0.0, 1.0, size=(12, 4))
+        problem = CoverProblem(gains=gains, demands=gains.sum(axis=0) * 0.4)
+        unmasked = lazy_sparse_greedy_cover(problem)
+        masked = lazy_sparse_greedy_cover(
+            problem, budget_mask=np.ones(12, dtype=bool)
+        )
+        assert masked.order == unmasked.order
+        assert_same_result(problem, budget_mask=np.ones(12, dtype=bool))
+
+    def test_empty_mask_is_infeasible_like_dense(self):
+        problem = CoverProblem(gains=np.ones((3, 2)), demands=np.array([1.0, 1.0]))
+        assert_same_result(problem, budget_mask=np.zeros(3, dtype=bool))
+
+
+class TestLazyGreedyState:
+    def test_state_reuse_matches_dense_state_across_masks(self):
+        rng = np.random.default_rng(11)
+        gains = rng.uniform(0.0, 1.0, size=(40, 6))
+        gains[rng.random(gains.shape) >= 0.4] = 0.0
+        problem = CoverProblem(gains=gains, demands=gains.sum(axis=0) * 0.35)
+        lazy_state = LazyGreedyState(problem)
+        dense_state = GreedyState(problem)
+        for trial in range(8):
+            mask = np.random.default_rng(trial).random(40) < 0.7
+            try:
+                dense = dense_state.solve(mask)
+            except InfeasibleError as exc:
+                with pytest.raises(InfeasibleError) as caught:
+                    lazy_state.solve(mask)
+                assert str(caught.value) == str(exc)
+                continue
+            lazy = lazy_state.solve(mask)
+            assert lazy.order == dense.order
+            assert np.array_equal(lazy.selection, dense.selection)
+
+    def test_state_for_wrong_problem_is_rejected(self):
+        a = CoverProblem(gains=np.ones((2, 2)), demands=np.array([0.5, 0.5]))
+        b = CoverProblem(gains=np.ones((2, 2)), demands=np.array([0.5, 0.5]))
+        state = LazyGreedyState(a)
+        with pytest.raises(ValueError, match="different CoverProblem"):
+            lazy_sparse_greedy_cover(b, state=state)
+
+    def test_state_rejects_foreign_types(self):
+        with pytest.raises(TypeError, match="CoverProblem or SparseCoverage"):
+            LazyGreedyState(np.ones((2, 2)))
+
+
+class TestSparseCoverage:
+    @given(problem=tie_problems(max_items=10))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_the_instance(self, problem):
+        sparse = SparseCoverage.from_problem(problem)
+        back = sparse.to_problem()
+        assert np.array_equal(back.gains, problem.gains)
+        assert np.array_equal(back.demands, problem.demands)
+        assert sparse.nnz == np.count_nonzero(problem.gains)
+
+    def test_rows_and_shape_accessors(self):
+        gains = np.array([[0.0, 0.3, 0.0], [0.7, 0.0, 0.2]])
+        sparse = SparseCoverage.from_dense(gains, np.array([0.1, 0.1, 0.1]))
+        assert (sparse.n_items, sparse.n_constraints, sparse.nnz) == (2, 3, 3)
+        cols, vals = sparse.row(1)
+        assert cols.tolist() == [0, 2]
+        assert vals.tolist() == [0.7, 0.2]
+        assert sparse.density == pytest.approx(0.5)
+        assert sparse.nbytes > 0
+
+    def test_validation_rejects_malformed_csr(self):
+        demands = np.array([0.5, 0.5])
+        with pytest.raises(ValidationError, match="start at 0 and end at nnz"):
+            SparseCoverage(
+                indptr=np.array([1, 2]),
+                indices=np.array([0]),
+                data=np.array([1.0]),
+                demands=demands,
+            )
+        with pytest.raises(ValidationError, match="strictly increasing"):
+            SparseCoverage(
+                indptr=np.array([0, 2]),
+                indices=np.array([1, 0]),
+                data=np.array([1.0, 1.0]),
+                demands=demands,
+            )
+        with pytest.raises(ValidationError, match="out of range"):
+            SparseCoverage(
+                indptr=np.array([0, 1]),
+                indices=np.array([7]),
+                data=np.array([1.0]),
+                demands=demands,
+            )
+        with pytest.raises(ValidationError, match="non-negative"):
+            SparseCoverage(
+                indptr=np.array([0, 1]),
+                indices=np.array([0]),
+                data=np.array([-1.0]),
+                demands=demands,
+            )
+
+    def test_arrays_are_read_only(self):
+        sparse = SparseCoverage.from_dense(np.ones((2, 2)), np.ones(2))
+        with pytest.raises(ValueError):
+            sparse.data[0] = 2.0
+
+
+class TestDispatch:
+    def test_small_problems_stay_dense(self):
+        problem = CoverProblem(gains=np.ones((8, 3)), demands=np.ones(3))
+        assert not use_lazy_kernel(problem)
+
+    def test_large_sparse_problems_go_lazy(self):
+        n = AUTO_SPARSE_MIN_ITEMS
+        gains = np.zeros((n, 100))
+        gains[np.arange(n), np.arange(n) % 100] = 1.0  # density 0.01
+        problem = CoverProblem(gains=gains, demands=gains.sum(axis=0) * 0.5)
+        assert use_lazy_kernel(problem)
+
+    def test_large_dense_problems_stay_dense(self):
+        n = AUTO_SPARSE_MIN_ITEMS
+        rng = np.random.default_rng(0)
+        gains = rng.uniform(0.1, 1.0, size=(n, 10))  # density 1 > cutoff
+        problem = CoverProblem(gains=gains, demands=gains.sum(axis=0) * 0.5)
+        assert problem.n_items >= AUTO_SPARSE_MIN_ITEMS
+        assert not use_lazy_kernel(problem)
+        assert AUTO_SPARSE_MAX_DENSITY < 1.0
+
+    def test_sparse_coverage_always_lazy(self):
+        sparse = SparseCoverage.from_dense(np.ones((2, 2)), np.ones(2))
+        assert use_lazy_kernel(sparse)
+
+    @given(problem=tie_problems(max_items=10))
+    @settings(max_examples=30, deadline=None)
+    def test_auto_solver_is_bit_identical_to_dense(self, problem):
+        try:
+            dense = greedy_cover(problem)
+        except InfeasibleError:
+            with pytest.raises(InfeasibleError):
+                auto_cover_solver(problem)
+            return
+        assert auto_cover_solver(problem).order == dense.order
+
+    def test_resolver_names_and_passthrough(self):
+        assert resolve_cover_solver("dense") is greedy_cover
+        assert resolve_cover_solver("greedy") is greedy_cover
+        assert resolve_cover_solver("lazy_sparse") is lazy_sparse_greedy_cover
+        assert resolve_cover_solver("auto") is auto_cover_solver
+        assert resolve_cover_solver(greedy_cover) is greedy_cover
+
+    def test_resolver_rejects_unknown_names(self):
+        with pytest.raises(ValidationError, match="unknown cover_solver"):
+            resolve_cover_solver("simulated_annealing")

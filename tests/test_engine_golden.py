@@ -22,7 +22,9 @@ from repro.engine import (
     reference_winner_schedule,
     use_engine,
 )
+from repro.coverage.dispatch import auto_cover_solver
 from repro.coverage.greedy import greedy_cover
+from repro.coverage.lazy import lazy_sparse_greedy_cover
 from repro.mechanisms.baseline import BaselineAuction
 from repro.mechanisms.dp_hsrc import DPHSRCAuction, reweight_pmf
 from repro.mechanisms.dp_variants import PermuteFlipHSRCAuction
@@ -72,6 +74,27 @@ class TestWinnerSchedule:
                 plan.cover_sizes, np.array([w.size for w in winner_sets], dtype=float)
             )
 
+    @pytest.mark.parametrize(
+        "solver", [lazy_sparse_greedy_cover, auto_cover_solver], ids=["lazy", "auto"]
+    )
+    def test_sparse_kernels_build_the_same_plan(self, instances, solver):
+        """The CELF/auto paths are bit-identical to the dense reference.
+
+        ``build_plan`` warm-starts these solvers through a shared
+        :class:`~repro.coverage.lazy.LazyGreedyState` (or the dense
+        state, for auto on dense-leaning instances), so this also pins
+        the warm-started sweep against the per-group reference solve.
+        """
+        for instance in instances:
+            prices, winner_sets = reference_winner_schedule(instance, greedy_cover)
+            plan = build_plan(instance, solver)
+            assert np.array_equal(plan.prices, prices)
+            for a, e in zip(plan.winner_sets, winner_sets):
+                assert np.array_equal(a, e)
+            assert np.array_equal(
+                plan.cover_sizes, np.array([w.size for w in winner_sets], dtype=float)
+            )
+
 
 class TestDPHSRC:
     @pytest.mark.parametrize("mode", ["default", "cached", "cache-off"])
@@ -83,6 +106,13 @@ class TestDPHSRC:
             expected = reference_dp_hsrc_pmf(instance, epsilon)
             actual = _run_under(engine, lambda: auction.price_pmf(instance))
             assert_pmf_equal(actual, expected)
+
+    @pytest.mark.parametrize("solver", ["lazy_sparse", "auto", "dense"])
+    def test_named_cover_solvers_match_reference(self, instances, solver):
+        auction = DPHSRCAuction(epsilon=0.5, cover_solver=solver)
+        for instance in instances:
+            expected = reference_dp_hsrc_pmf(instance, 0.5)
+            assert_pmf_equal(auction.price_pmf(instance), expected)
 
     def test_cache_hit_is_bit_identical_to_miss(self, instances):
         instance = instances[0]

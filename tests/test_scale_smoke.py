@@ -1,0 +1,153 @@
+"""Scale smoke tier (``-m scale``) plus the bench dense-refusal guard.
+
+The ``@pytest.mark.scale`` tests run the three scale kernels at
+``N = 5·10^4`` — CELF lazy greedy on a CSR-native instance, the
+shared-memory batch round trip, and the warm-started price sweep — each
+bounded in wall-clock seconds so a quadratic regression fails loudly.
+They are excluded from the default (tier-1) run by ``addopts`` in
+``pyproject.toml``; CI's ``scale-smoke`` job selects them with
+``pytest -m scale``.
+
+The unmarked tests pin ``scripts/bench.py``'s refusal to attempt a
+dense-kernel run beyond its cell budget: a clear ``SystemExit`` naming
+the ``lazy_sparse`` alternative, never a raw ``MemoryError``.
+"""
+
+import importlib.util
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BatchAuctionRunner,
+    SharedInstanceBatch,
+    seeded_auction_batch,
+    seeded_sparse_cover_problem,
+)
+from repro.coverage.dispatch import use_lazy_kernel
+from repro.coverage.lazy import LazyGreedyState, lazy_sparse_greedy_cover
+from repro.coverage.problem import CoverProblem
+from repro.engine import SweepEngine, use_engine
+from repro.mechanisms.dp_hsrc import DPHSRCAuction
+from repro.obs import MetricsRecorder, use_recorder
+
+#: Generous per-operation wall-clock bound: each op measures well under
+#: 10 s on a laptop-class core, so 60 s catches an asymptotic regression
+#: without flaking on slow CI hardware.
+SECONDS_BOUND = 60.0
+
+SCALE_N = 50_000
+
+
+def sparse_residual_unmet(problem, selection) -> int:
+    """Unmet demands after ``selection``, computed without densifying."""
+    covered = np.zeros(problem.n_constraints, dtype=np.float64)
+    for i in selection:
+        cols, gains = problem.row(int(i))
+        np.add.at(covered, cols, gains)
+    return int(np.count_nonzero(problem.demands - covered > 1e-9))
+
+
+@pytest.mark.scale
+class TestScaleSmoke:
+    def test_lazy_greedy_covers_50k_items_in_seconds(self):
+        problem = seeded_sparse_cover_problem(SCALE_N, 500, seed=2016)
+        start = time.perf_counter()
+        state = LazyGreedyState(problem)
+        result = state.solve()
+        elapsed = time.perf_counter() - start
+        assert elapsed < SECONDS_BOUND
+        assert 0 < result.size < SCALE_N
+        assert sparse_residual_unmet(problem, result.selection) == 0
+        # Warm-started re-solve under a budget mask reuses the state's
+        # initial scoring, so it must not cost another full pass.
+        mask = np.ones(SCALE_N, dtype=bool)
+        mask[: SCALE_N // 2] = False
+        start = time.perf_counter()
+        masked = state.solve(mask)
+        assert time.perf_counter() - start < SECONDS_BOUND
+        assert all(i >= SCALE_N // 2 for i in masked.order)
+
+    def test_shm_batch_round_trip_at_50k_workers(self):
+        [instance] = seeded_auction_batch(1, n_workers=SCALE_N, n_tasks=8, seed=2016)
+        start = time.perf_counter()
+        shared = SharedInstanceBatch.create([instance])
+        rebuilt = None
+        try:
+            rebuilt = shared.batch.unpack(0)
+            assert np.array_equal(rebuilt.quality, instance.quality)
+            assert np.array_equal(rebuilt.prices, instance.prices)
+            assert np.shares_memory(rebuilt.quality, shared.batch.floats)
+            assert rebuilt.bids == instance.bids
+        finally:
+            del rebuilt
+            shared.dispose()
+        assert time.perf_counter() - start < SECONDS_BOUND
+
+    def test_batch_runner_shared_memory_at_scale(self):
+        batch = seeded_auction_batch(2, n_workers=SCALE_N // 2, n_tasks=8, seed=2016)
+        mechanism = DPHSRCAuction(epsilon=0.5)
+        start = time.perf_counter()
+        serial = BatchAuctionRunner(mechanism, backend="serial").run(batch, seed=7)
+        shm = BatchAuctionRunner(
+            mechanism, backend="process", max_workers=2, transport="shared_memory"
+        ).run(batch, seed=7)
+        assert time.perf_counter() - start < 2 * SECONDS_BOUND
+        for a, b in zip(serial.outcomes, shm.outcomes):
+            assert a.price == b.price
+            assert np.array_equal(a.winners, b.winners)
+
+    def test_warm_started_sweep_at_scale(self):
+        # 100 tasks at bundle size 3-5 gives density ~0.04, so the
+        # dispatcher picks the lazy kernel for the whole sweep.
+        [instance] = seeded_auction_batch(1, n_workers=SCALE_N, n_tasks=100, seed=2016)
+        problem = CoverProblem(
+            gains=instance.effective_quality, demands=instance.demands
+        )
+        assert use_lazy_kernel(problem)
+        mechanism = DPHSRCAuction(epsilon=0.5)
+        recorder = MetricsRecorder()
+        start = time.perf_counter()
+        with use_engine(SweepEngine()), use_recorder(recorder):
+            first = mechanism.price_pmf(instance)
+            second = mechanism.price_pmf(instance)
+        assert time.perf_counter() - start < 2 * SECONDS_BOUND
+        assert np.array_equal(first.probabilities, second.probabilities)
+        # One shared plan: the second sweep is a pure cache hit, and the
+        # lazy kernel's initial scoring ran once per plan build, not once
+        # per price group.
+        assert recorder.counters.get("engine.plan.hits") == 1.0
+        assert recorder.counters.get("engine.plan.misses") == 1.0
+        assert recorder.counters.get("lazy_greedy.calls", 0.0) > 0.0
+
+
+def load_bench_module():
+    path = Path(__file__).resolve().parents[1] / "scripts" / "bench.py"
+    spec = importlib.util.spec_from_file_location("bench_script", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDenseScaleRefusal:
+    def test_oversized_dense_request_exits_with_actionable_message(self):
+        bench = load_bench_module()
+        with pytest.raises(SystemExit) as caught:
+            bench.check_dense_scale(100_000, 1_000)
+        message = str(caught.value)
+        assert "MemoryError" not in message
+        assert "refused" in message
+        assert "--scale-solver lazy_sparse" in message
+        assert "100,000,000" in message  # names the offending cell count
+
+    def test_shapes_within_budget_pass(self):
+        bench = load_bench_module()
+        assert bench.check_dense_scale(20_000, 500) is None
+
+    def test_cli_dense_request_fails_fast(self):
+        """`--scale-solver dense` exits before any benchmark runs."""
+        bench = load_bench_module()
+        with pytest.raises(SystemExit, match="lazy_sparse"):
+            bench.main(["--scale-solver", "dense"])
