@@ -49,12 +49,17 @@ class PricePMF:
         drawn.
     n_workers:
         Number of workers in the underlying instance.
+    degraded:
+        ``True`` when this PMF came from the budget-admission fallback
+        path (an exhausted tenant served by the baseline mechanism);
+        propagated onto every outcome sampled from it.
     """
 
     prices: np.ndarray
     probabilities: np.ndarray
     winner_sets: tuple[np.ndarray, ...]
     n_workers: int
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         prices = validation.as_float_array(self.prices, "prices", ndim=1)
@@ -83,6 +88,7 @@ class PricePMF:
         object.__setattr__(self, "prices", prices)
         object.__setattr__(self, "probabilities", np.clip(probs, 0.0, None))
         object.__setattr__(self, "winner_sets", sets)
+        object.__setattr__(self, "degraded", bool(self.degraded))
 
     @property
     def support_size(self) -> int:
@@ -130,6 +136,7 @@ class PricePMF:
             winners=self.winner_sets[index],
             price=float(self.prices[index]),
             n_workers=self.n_workers,
+            degraded=self.degraded,
         )
 
     def sample_index(self, seed: RngLike = None) -> int:

@@ -35,12 +35,18 @@ class AuctionOutcome:
     payments:
         ``(N,)`` payment vector; winners receive ``price``, losers 0.
         Computed automatically when not supplied.
+    degraded:
+        ``True`` when this outcome came from the budget-admission
+        fallback path — an exhausted tenant served by the baseline
+        mechanism instead of the premium one it asked for (see
+        :mod:`repro.privacy.budget`).  Defaults to ``False``.
     """
 
     winners: np.ndarray
     price: float
     n_workers: int
     payments: np.ndarray = field(default=None)  # type: ignore[assignment]
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         winners = np.array(sorted(int(i) for i in np.asarray(self.winners).ravel()), dtype=int)
@@ -67,6 +73,7 @@ class AuctionOutcome:
         object.__setattr__(self, "winners", winners)
         object.__setattr__(self, "price", price)
         object.__setattr__(self, "payments", payments)
+        object.__setattr__(self, "degraded", bool(self.degraded))
 
     @cached_property
     def winner_set(self) -> frozenset[int]:

@@ -32,6 +32,7 @@ import logging
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Union
 
@@ -44,6 +45,7 @@ from repro.engine.engine import scoped_engine, use_engine
 from repro.exceptions import InstanceExecutionError
 from repro.bench.shm import SharedBatchHandle, SharedInstanceBatch, attach_batch
 from repro.obs import MetricsRecorder, Recorder, current_recorder, use_recorder
+from repro.privacy.budget.context import current_budget_scope, use_budget_scope
 from repro.resilience.context import current_resilience
 from repro.resilience.faults import FaultPlan, ensure_outcome_sane
 from repro.resilience.retry import RetryPolicy, is_transient, retry_stream
@@ -61,6 +63,18 @@ _ON_ERROR = ("quarantine", "raise")
 
 #: Instance transports accepted by :class:`BatchAuctionRunner`.
 _TRANSPORTS = ("pickle", "shared_memory")
+
+
+def _tenant_scope(scope, tenants: Optional[Sequence[str]], index: int):
+    """Context manager scoping instance ``index`` to its batch tenant.
+
+    A no-op (``nullcontext``) when the batch has no tenant map or no
+    active ambient budget scope — the common, unbudgeted path must not
+    touch the contextvar at all.
+    """
+    if tenants is None or scope is None or not scope.active:
+        return nullcontext()
+    return use_budget_scope(scope.with_tenant(tenants[index]))
 
 
 def _run_one(
@@ -334,6 +348,7 @@ class BatchAuctionRunner:
         seed: Union[RngLike, np.random.SeedSequence] = None,
         *,
         recorder: Recorder | None = None,
+        tenants: Sequence[str] | None = None,
     ) -> BatchRunResult:
         """Execute every instance once and collect the outcomes.
 
@@ -356,6 +371,15 @@ class BatchAuctionRunner:
             merged into ``recorder`` in input order, so merged counters,
             histograms, and ledger entries are *identical* across
             backends and worker counts.  Outcomes are never affected.
+        tenants:
+            Optional per-instance tenant names (same length as
+            ``instances``).  Instance ``i`` runs under the ambient
+            :class:`~repro.privacy.budget.BudgetScope` re-scoped to
+            ``tenants[i]``, so a multi-tenant batch charges each draw to
+            its own account — and an exhausted tenant can degrade or be
+            refused mid-batch without touching the others.  Retries keep
+            the instance's tenant.  With no ambient budget store the
+            re-scoping is a no-op.
 
         Raises
         ------
@@ -363,10 +387,31 @@ class BatchAuctionRunner:
             Only with ``on_error="raise"``, for the first permanently
             failed instance; the default quarantines failures into
             :attr:`BatchRunResult.failed` instead.
+
+        Notes
+        -----
+        With an *active* ambient budget store the batch always runs on
+        the serial backend: budget scopes live in contextvars, which do
+        not cross process-pool boundaries, and serial charging is also
+        what keeps each charge's admission decision ordered.
         """
         instances = list(instances)
+        if tenants is not None:
+            tenants = [str(t) for t in tenants]
+            if len(tenants) != len(instances):
+                raise ValueError(
+                    f"tenants has length {len(tenants)} but the batch has "
+                    f"{len(instances)} instances"
+                )
         seeds = spawn_seed_sequences(seed, len(instances))
         backend, workers = self._resolve(len(instances))
+        scope = current_budget_scope()
+        if scope.active and backend != "serial":
+            logger.info(
+                "budget store active: forcing the serial backend so every "
+                "ε-draw charges the ambient store in admission order"
+            )
+            backend, workers = "serial", 1
         sink = current_recorder() if recorder is None else recorder
         collect = isinstance(sink, MetricsRecorder)
         ambient = current_resilience()
@@ -395,11 +440,12 @@ class BatchAuctionRunner:
                         instance = (
                             instances[i] if shared is None else shared.batch.unpack(i)
                         )
-                        triples.append(
-                            _run_one_guarded(
-                                self.mechanism, instance, child, collect, fault_plan, i
+                        with _tenant_scope(scope, tenants, i):
+                            triples.append(
+                                _run_one_guarded(
+                                    self.mechanism, instance, child, collect, fault_plan, i
+                                )
                             )
-                        )
                         del instance
                 elif shared is None:
                     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -430,7 +476,8 @@ class BatchAuctionRunner:
                             )
                         )
                 outcomes, snapshots, failed = self._settle(
-                    triples, instances, seeds, retry, fault_plan, collect, sink
+                    triples, instances, seeds, retry, fault_plan, collect, sink,
+                    scope, tenants,
                 )
         finally:
             if shared is not None:
@@ -458,6 +505,8 @@ class BatchAuctionRunner:
         fault_plan: FaultPlan | None,
         collect: bool,
         sink: Recorder,
+        scope=None,
+        tenants: Sequence[str] | None = None,
     ) -> tuple[list, list, list]:
         """Retry transient failures and quarantine permanent ones.
 
@@ -491,9 +540,11 @@ class BatchAuctionRunner:
                     delay=delay,
                 ):
                     self._sleep(delay)
-                outcome, snapshot, error = _run_one_guarded(
-                    self.mechanism, instances[i], seeds[i], collect, fault_plan, i, attempt
-                )
+                with _tenant_scope(scope, tenants, i):
+                    outcome, snapshot, error = _run_one_guarded(
+                        self.mechanism, instances[i], seeds[i], collect,
+                        fault_plan, i, attempt,
+                    )
             if error is not None:
                 wrapped = InstanceExecutionError(i, seeds[i], error, attempts=attempt + 1)
                 if self.on_error == "raise":

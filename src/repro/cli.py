@@ -39,6 +39,20 @@ Performance (see docs/USAGE.md §Sharing the price sweep)::
 ``--no-plan-cache`` installs an ambient pass-through
 :class:`repro.engine.SweepEngine`, so every mechanism recomputes its
 price sweep; the printed series are bit-identical either way.
+
+Privacy budget (see docs/PRIVACY_BUDGET.md)::
+
+    python -m repro figure5 --fast --budget 5.0                  # per-tenant ε limit
+    python -m repro figure5 --fast --budget 5.0 --on-exhausted degrade
+    python -m repro figure5 --fast --budget 5.0 --budget-store budget.jsonl
+    python -m repro audit --budget-store budget.jsonl            # cross-run audit
+
+``--budget``/``--budget-store`` install an ambient
+:class:`repro.privacy.budget.BudgetStore` (durable when a store path is
+given) charged by every ε-consuming draw; ``--on-exhausted`` picks the
+admission policy (``refuse`` exits with code 4, ``degrade`` falls back
+to the baseline mechanism).  The ``audit`` pseudo-experiment renders the
+per-account audit report of an existing journal.
 """
 
 from __future__ import annotations
@@ -103,7 +117,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'all', 'report' (writes reproduction_report.md), or 'list'",
+        help=(
+            "experiment name, 'all', 'report' (writes reproduction_report.md), "
+            "'audit' (renders a budget journal's audit report), or 'list'"
+        ),
     )
     parser.add_argument(
         "--fast",
@@ -185,6 +202,37 @@ def _build_parser() -> argparse.ArgumentParser:
             "poison; see docs/RESILIENCE.md)"
         ),
     )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help=(
+            "per-tenant privacy budget: every ε-consuming draw charges an "
+            "ambient budget store and admission stops a tenant that would "
+            "exceed EPS (see docs/PRIVACY_BUDGET.md)"
+        ),
+    )
+    parser.add_argument(
+        "--budget-store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "durable append-only JSON-lines budget journal; reopening the "
+            "same PATH resumes the accounts across runs (required by the "
+            "'audit' pseudo-experiment)"
+        ),
+    )
+    parser.add_argument(
+        "--on-exhausted",
+        choices=("refuse", "degrade"),
+        default="refuse",
+        help=(
+            "admission policy for an exhausted tenant: 'refuse' aborts with "
+            "exit code 4, 'degrade' serves the baseline mechanism instead "
+            "(outcomes tagged degraded; default: refuse)"
+        ),
+    )
     return parser
 
 
@@ -205,14 +253,41 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"wrote {out}")
         return 0
 
+    if args.experiment == "audit":
+        from repro.exceptions import CheckpointError
+        from repro.privacy.budget import JsonlBudgetStore, render_audit_report
+
+        if args.budget_store is None:
+            print("error: 'audit' requires --budget-store PATH", file=sys.stderr)
+            return 2
+        try:
+            with JsonlBudgetStore.open_for_audit(args.budget_store) as store:
+                print(render_audit_report(store))
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.output is not None and len(names) != 1:
         print("error: --output requires a single experiment", file=sys.stderr)
         return 2
+    from contextlib import ExitStack, nullcontext
+
     from repro.engine import SweepEngine, current_engine, use_engine
-    from repro.exceptions import InstanceExecutionError
+    from repro.exceptions import (
+        BudgetExceededError,
+        CheckpointError,
+        InstanceExecutionError,
+    )
     from repro.experiments.export import render
     from repro.obs import NULL_RECORDER, MetricsRecorder, use_recorder
+    from repro.privacy.budget import (
+        InMemoryBudgetStore,
+        JsonlBudgetStore,
+        render_audit_report,
+        use_budget_store,
+    )
     from repro.resilience import FaultPlan, ResilienceConfig, RetryPolicy, use_resilience
 
     recorder = (
@@ -233,8 +308,28 @@ def main(argv: Sequence[str] | None = None) -> int:
     # scoped_engine() inside the experiments clones its policy, so no
     # sweep plan is cached anywhere in the run.
     engine = SweepEngine(cache=False) if args.no_plan_cache else current_engine()
+    budget_store = None
     try:
-        with use_recorder(recorder), use_resilience(resilience), use_engine(engine):
+        if args.budget_store is not None:
+            budget_store = JsonlBudgetStore(args.budget_store, limit=args.budget)
+        elif args.budget is not None:
+            budget_store = InMemoryBudgetStore(limit=args.budget)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    budget_scope = (
+        nullcontext()
+        if budget_store is None
+        else use_budget_store(budget_store, on_exhausted=args.on_exhausted)
+    )
+    try:
+        with ExitStack() as stack:
+            if isinstance(budget_store, JsonlBudgetStore):
+                stack.enter_context(budget_store)
+            stack.enter_context(use_recorder(recorder))
+            stack.enter_context(use_resilience(resilience))
+            stack.enter_context(use_engine(engine))
+            stack.enter_context(budget_scope)
             for name in names:
                 with recorder.span("experiment", name, fast=args.fast, seed=args.seed):
                     result = run_experiment(name, fast=args.fast, seed=args.seed)
@@ -253,7 +348,25 @@ def main(argv: Sequence[str] | None = None) -> int:
                 else:
                     print(text)
                     print()
+    except BudgetExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "hint: the privacy budget is exhausted; raise --budget, renew the "
+            "journal, or use --on-exhausted degrade to fall back to the "
+            "baseline mechanism",
+            file=sys.stderr,
+        )
+        return 4
     except InstanceExecutionError as exc:
+        if isinstance(exc.cause, BudgetExceededError):
+            print(f"error: {exc}", file=sys.stderr)
+            print(
+                "hint: the privacy budget is exhausted; raise --budget, renew "
+                "the journal, or use --on-exhausted degrade to fall back to "
+                "the baseline mechanism",
+                file=sys.stderr,
+            )
+            return 4
         print(f"error: {exc}", file=sys.stderr)
         if args.resume is not None:
             print(
@@ -268,6 +381,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.metrics:
         print(recorder.report())
         print()
+        if budget_store is not None:
+            print(render_audit_report(budget_store))
+            print()
     if args.trace is not None:
         path = recorder.write_trace(
             args.trace,

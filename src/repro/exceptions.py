@@ -56,12 +56,50 @@ class ConvergenceError(ReproError):
 
 
 class BudgetExceededError(ReproError):
-    """A privacy-budget ledger's composed ε exceeded its configured budget.
+    """A composed privacy spend exceeded its configured ε budget.
 
     Raised by :class:`repro.obs.PrivacyLedger` when recording a draw (or
     asserting after the fact) shows the pure-DP composition of all
-    recorded expenditures past the configured total budget.
+    recorded expenditures past the configured total budget, and by the
+    :mod:`repro.privacy.budget` subsystem — the admission controller
+    refusing a draw pre-flight, or a budget store whose account crossed
+    its limit.
+
+    Attributes
+    ----------
+    tenant, principal:
+        The ``(tenant, principal)`` budget account that overspent, when
+        the error originates from a budget store or admission controller
+        (``None`` for plain per-run ledger overruns).
+    mechanism:
+        Name of the mechanism whose draw triggered the overrun, when
+        known.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str | None = None,
+        principal: str | None = None,
+        mechanism: str | None = None,
+    ) -> None:
+        self.tenant = tenant
+        self.principal = principal
+        self.mechanism = mechanism
+        super().__init__(message)
+
+    def __reduce__(self):
+        """Preserve the typed fields across pickling (process-pool transit)."""
+        return (
+            type(self),
+            (self.args[0] if self.args else "",),
+            {
+                "tenant": self.tenant,
+                "principal": self.principal,
+                "mechanism": self.mechanism,
+            },
+        )
 
 
 class TransientError(ReproError):

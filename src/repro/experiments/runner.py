@@ -12,6 +12,7 @@ and standard deviation of the platform's total payment.
 
 from __future__ import annotations
 
+import logging
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -25,6 +26,7 @@ from repro.auction.mechanism import Mechanism
 from repro.engine.engine import scoped_engine, use_engine
 from repro.exceptions import InstanceExecutionError
 from repro.obs import MetricsRecorder, Recorder, current_recorder, use_recorder
+from repro.privacy.budget.context import current_budget_scope
 from repro.resilience.checkpoint import SweepCheckpoint, seed_fingerprint
 from repro.resilience.context import current_resilience
 from repro.resilience.faults import FaultPlan
@@ -42,6 +44,8 @@ __all__ = [
     "encode_payment_stats",
     "decode_payment_stats",
 ]
+
+logger = logging.getLogger("repro.experiments.runner")
 
 
 @dataclass(frozen=True)
@@ -306,6 +310,9 @@ def payment_sweep(
     max_workers:
         ``None`` or ``1`` runs serially in-process; larger values fan the
         points out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+        With an active ambient budget store (:mod:`repro.privacy.budget`)
+        the sweep always runs serially regardless — budget scopes live
+        in contextvars, which do not cross process boundaries.
     recorder:
         Observability sink; defaults to the ambient recorder.
     retry:
@@ -362,6 +369,14 @@ def payment_sweep(
         )
         for i in pending
     }
+    if max_workers is not None and max_workers > 1 and current_budget_scope().active:
+        # Budget scopes live in contextvars, which never reach pool
+        # workers — charging must stay in-process and in point order.
+        logger.info(
+            "budget store active: running the sweep serially despite "
+            "max_workers=%d", max_workers,
+        )
+        max_workers = 1
     if max_workers is None or max_workers <= 1:
         triples = {i: _sweep_point_safe(tasks[i]) for i in pending}
     else:

@@ -20,6 +20,7 @@ from repro.mechanisms.dp_hsrc import (
     payment_score_sensitivity,
 )
 from repro.obs import current_recorder
+from repro.privacy.budget.context import current_budget_scope
 from repro.utils import validation
 
 __all__ = ["BaselineAuction"]
@@ -32,17 +33,36 @@ class BaselineAuction(Mechanism):
     ----------
     epsilon:
         Privacy budget of the exponential-mechanism price draw.
+    degraded:
+        ``True`` marks every PMF/outcome this instance produces as a
+        budget-admission fallback (``degraded=True``) and tags its
+        ledger charges accordingly — set by the DP mechanisms when the
+        ambient :class:`~repro.privacy.budget.AdmissionController`
+        degrades an exhausted tenant onto this mechanism.  Degraded
+        charges are audited but exempt from budget enforcement.
     """
 
     name = "baseline"
 
-    def __init__(self, epsilon: float) -> None:
+    def __init__(self, epsilon: float, *, degraded: bool = False) -> None:
         validation.require_positive(epsilon, "epsilon")
         self.epsilon = float(epsilon)
+        self.degraded = bool(degraded)
 
     def price_pmf(self, instance: AuctionInstance) -> PricePMF:
         """Exact (price, winner-set) distribution for ``instance``."""
         recorder = current_recorder()
+        degraded = self.degraded
+        if not degraded:
+            scope = current_budget_scope()
+            if scope.active:
+                # The baseline is its own fallback: an exhausted tenant
+                # under the degrade policy keeps this mechanism but the
+                # draw is tagged (and charged) as degraded.
+                decision = scope.admit(mechanism=self.name, epsilon=self.epsilon)
+                if decision.degrade:
+                    recorder.count("budget.degraded")
+                    degraded = True
         # static_order_cover's default order is exactly the baseline rule
         # (descending static gain, index-ascending ties), so the bare
         # kernel is this mechanism's plan-cache key in the ambient engine.
@@ -60,16 +80,21 @@ class BaselineAuction(Mechanism):
             probabilities = exponential_price_probabilities(
                 plan.prices * plan.cover_sizes, self.epsilon, sensitivity
             )
+        # The degraded tag is only added to the entry attrs on the
+        # fallback path, so normal baseline traces stay byte-identical.
+        extra = {"degraded": True} if degraded else {}
         recorder.ledger.record(
             self.name,
             epsilon=self.epsilon,
             sensitivity=sensitivity,
             support_size=plan.support_size,
             n_workers=instance.n_workers,
+            **extra,
         )
         return PricePMF(
             prices=plan.prices,
             probabilities=probabilities,
             winner_sets=plan.winner_sets,
             n_workers=instance.n_workers,
+            degraded=degraded,
         )

@@ -40,6 +40,7 @@ from repro.coverage.greedy import GreedyResult
 from repro.coverage.problem import CoverProblem
 from repro.engine.engine import current_engine
 from repro.obs import current_recorder
+from repro.privacy.budget.context import current_budget_scope
 from repro.privacy.exponential import ExponentialMechanism
 from repro.utils import validation
 
@@ -139,8 +140,26 @@ class DPHSRCAuction(Mechanism):
         ------
         EmptyPriceSetError
             When no grid price is feasible.
+        BudgetExceededError
+            When the ambient budget scope's admission controller refuses
+            the draw (``refuse`` policy on an exhausted tenant), or the
+            recorded charge crosses the tenant's limit.
         """
         recorder = current_recorder()
+        if self.record_ledger:
+            scope = current_budget_scope()
+            if scope.active:
+                decision = scope.admit(mechanism=self.name, epsilon=self.epsilon)
+                if decision.degrade:
+                    # Exhausted tenant under the degrade policy: serve the
+                    # baseline mechanism and tag the result.  Imported
+                    # lazily — baseline.py imports from this module.
+                    from repro.mechanisms.baseline import BaselineAuction
+
+                    recorder.count("budget.degraded")
+                    return BaselineAuction(self.epsilon, degraded=True).price_pmf(
+                        instance
+                    )
         # The ε-independent sweep (price set, groups, per-group covers)
         # comes from the ambient engine: under a shared SweepEngine, N
         # mechanisms (or N ε values) on one instance pay for it once.
@@ -191,9 +210,23 @@ def reweight_pmf(pmf: PricePMF, instance: AuctionInstance, epsilon: float) -> Pr
     sensitivity ablation) can reuse one winner-set computation and merely
     re-score the support.  Returns a new :class:`PricePMF` over the same
     (price, winner-set) support with probabilities for ``epsilon``.
+
+    There is no cheaper mechanism to fall back to for a re-scoring, so
+    under the ``degrade`` admission policy an exhausted tenant still gets
+    the reweighted PMF, but the draw is tagged ``degraded=True`` and its
+    ε lands in the account's unenforced ``degraded_epsilon`` audit bucket
+    (the same self-fallback rule the baseline mechanism uses).
     """
     validation.require_positive(epsilon, "epsilon")
     recorder = current_recorder()
+    degraded = pmf.degraded
+    if not degraded:
+        scope = current_budget_scope()
+        if scope.active:
+            decision = scope.admit(mechanism="dp-hsrc/reweight", epsilon=float(epsilon))
+            if decision.degrade:
+                recorder.count("budget.degraded")
+                degraded = True
     sensitivity = payment_score_sensitivity(instance)
     with recorder.span(
         "exp_mech", "dp-hsrc.reweight", support_size=pmf.support_size
@@ -201,15 +234,18 @@ def reweight_pmf(pmf: PricePMF, instance: AuctionInstance, epsilon: float) -> Pr
         probabilities = exponential_price_probabilities(
             pmf.total_payments, epsilon, sensitivity
         )
+    extra = {"degraded": True} if degraded else {}
     recorder.ledger.record(
         "dp-hsrc/reweight",
         epsilon=float(epsilon),
         sensitivity=sensitivity,
         support_size=pmf.support_size,
+        **extra,
     )
     return PricePMF(
         prices=pmf.prices,
         probabilities=probabilities,
         winner_sets=pmf.winner_sets,
         n_workers=pmf.n_workers,
+        degraded=degraded,
     )

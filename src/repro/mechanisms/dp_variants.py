@@ -15,8 +15,10 @@ import numpy as np
 from repro.auction.instance import AuctionInstance
 from repro.auction.mechanism import Mechanism, PricePMF
 from repro.auction.outcome import AuctionOutcome
+from repro.mechanisms.baseline import BaselineAuction
 from repro.mechanisms.dp_hsrc import DPHSRCAuction, payment_score_sensitivity
 from repro.obs import current_recorder
+from repro.privacy.budget.context import current_budget_scope
 from repro.privacy.selection import (
     permute_and_flip_pmf_exact,
     permute_and_flip_pmf_monte_carlo,
@@ -70,9 +72,27 @@ class PermuteFlipHSRCAuction(Mechanism):
         """
         return self._winner_stage.price_pmf(instance)
 
+    def _admit_or_degrade(self) -> bool:
+        """Consult the ambient budget admission controller.
+
+        Returns ``True`` when this draw should fall back to the degraded
+        baseline mechanism; raises on the ``refuse`` policy.  The internal
+        winner stage runs with ``record_ledger=False`` so only this
+        mechanism's own released draw is admitted and charged.
+        """
+        scope = current_budget_scope()
+        if not scope.active:
+            return False
+        decision = scope.admit(mechanism=self.name, epsilon=self.epsilon)
+        if decision.degrade:
+            current_recorder().count("budget.degraded")
+        return decision.degrade
+
     def price_pmf(self, instance: AuctionInstance) -> PricePMF:
         """Exact (small support) or Monte-Carlo (large support) PMF."""
         recorder = current_recorder()
+        if self._admit_or_degrade():
+            return BaselineAuction(self.epsilon, degraded=True).price_pmf(instance)
         schedule = self._winner_schedule(instance)
         scores = -schedule.total_payments
         sensitivity = payment_score_sensitivity(instance)
@@ -106,6 +126,8 @@ class PermuteFlipHSRCAuction(Mechanism):
     def run(self, instance: AuctionInstance, seed: RngLike = None) -> AuctionOutcome:
         """Sample the true permute-and-flip mechanism (always exact)."""
         recorder = current_recorder()
+        if self._admit_or_degrade():
+            return BaselineAuction(self.epsilon, degraded=True).run(instance, seed)
         schedule = self._winner_schedule(instance)
         sensitivity = payment_score_sensitivity(instance)
         with recorder.span(

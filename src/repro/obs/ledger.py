@@ -17,6 +17,15 @@ total reads exactly ``B·ε`` — and with a configured ``budget`` the
 ledger raises :class:`~repro.exceptions.BudgetExceededError` the moment
 a draw pushes the composition past it (the violating entry is retained,
 so the audit trail shows the overspend).
+
+Cross-run accounting lives in :mod:`repro.privacy.budget`: the ledger
+is a thin per-run *view* that forwards every recorded draw into the
+ambient :class:`~repro.privacy.budget.BudgetScope` (the default null
+scope makes the forward a no-op, so unbudgeted runs are unchanged).
+Forwarding happens even for non-keeping ledgers — budget enforcement
+must not depend on whether an observability recorder is installed —
+while snapshot *merges* never forward: merged entries were already
+charged by the process that recorded them live.
 """
 
 from __future__ import annotations
@@ -32,6 +41,18 @@ from repro.utils import validation
 __all__ = ["LedgerEntry", "PrivacyLedger"]
 
 logger = logging.getLogger("repro.obs.ledger")
+
+#: The pure-DP composition rules a :class:`LedgerEntry` may declare.
+COMPOSITIONS = ("sequential", "parallel")
+
+
+def _ambient_budget_scope():
+    # Imported lazily: repro.privacy.budget pulls in repro.resilience,
+    # whose executor imports repro.obs — a module-level import here
+    # would close that cycle while ``repro.obs.__init__`` is mid-load.
+    from repro.privacy.budget.context import current_budget_scope
+
+    return current_budget_scope()
 
 
 @dataclass(frozen=True)
@@ -58,6 +79,14 @@ class LedgerEntry:
     sensitivity: float
     composition: str = "sequential"
     attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.composition not in COMPOSITIONS:
+            raise ValueError(
+                f"composition must be one of {COMPOSITIONS}, got "
+                f"{self.composition!r} (mechanism {self.mechanism!r}) — an "
+                "unknown rule would silently compose wrong"
+            )
 
     def to_json_obj(self) -> dict:
         """The entry as a plain dict ready for the JSON-lines trace."""
@@ -118,10 +147,23 @@ class PrivacyLedger:
         Raises
         ------
         BudgetExceededError
-            When a configured ``budget`` is exceeded by this draw.  The
-            entry is recorded *before* raising so the audit trail keeps
-            the violating expenditure.
+            When a configured ``budget`` is exceeded by this draw, or
+            when the ambient budget store's account crossed its limit.
+            The entry/charge is recorded *before* raising so the audit
+            trail keeps the violating expenditure.
         """
+        scope = _ambient_budget_scope()
+        if scope.active:
+            # Forward into the cross-run budget store first — even for a
+            # non-keeping ledger, since enforcement must not depend on
+            # whether an observability recorder happens to be installed.
+            scope.charge(
+                mechanism=str(mechanism),
+                epsilon=float(epsilon),
+                sensitivity=float(sensitivity),
+                parallel=bool(parallel),
+                degraded=bool(attrs.get("degraded", False)),
+            )
         if not self.keep:
             return 0.0
         validation.require_positive(epsilon, "epsilon")

@@ -398,6 +398,12 @@ def _json_default(obj):
     raise TypeError(f"not JSON serializable: {type(obj).__name__}")
 
 
+# One shared encoder: json.dumps with sort_keys/default kwargs builds a
+# fresh JSONEncoder per call, which dominates high-rate writers like the
+# budget journal.  encode() emits byte-identical output.
+_TRACE_ENCODER = json.JSONEncoder(sort_keys=True, default=_json_default)
+
+
 def dumps_json(obj: Mapping) -> str:
     """Compact, key-stable JSON used for every trace line."""
-    return json.dumps(obj, sort_keys=True, default=_json_default)
+    return _TRACE_ENCODER.encode(obj)

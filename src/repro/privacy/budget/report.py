@@ -1,0 +1,87 @@
+"""The per-tenant spend (audit) report.
+
+Renders a :class:`~repro.privacy.budget.store.BudgetStore`'s accounts as
+an aligned plain-text table — one row per ``(tenant, principal)`` with
+the composed enforced ε, the separately-tracked degraded spend, the
+limit, the remaining budget, and the renewal count — followed by an
+ASCII bar chart of composed ε by account (the same visual style as
+:func:`repro.obs.render_report`).  Exposed on the CLI as the ``audit``
+subcommand (``python -m repro audit --budget-store <journal>``).
+"""
+
+from __future__ import annotations
+
+from repro.privacy.budget.store import BudgetStore
+
+__all__ = ["render_audit_report"]
+
+#: Width of the ASCII spend chart.
+_CHART_WIDTH = 40
+
+
+def _fmt(value: float | None, places: int = 6) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{places}g}"
+
+
+def render_audit_report(store: BudgetStore, *, title: str = "privacy budget audit") -> str:
+    """An aligned per-tenant spend table plus an ASCII composed-ε chart."""
+    headers = (
+        "tenant",
+        "principal",
+        "charges",
+        "eps_sequential",
+        "eps_parallel",
+        "eps_composed",
+        "eps_degraded",
+        "limit",
+        "remaining",
+        "renewals",
+    )
+    rows = []
+    for acct in store.accounts():
+        rows.append(
+            (
+                acct.tenant,
+                acct.principal,
+                str(acct.n_charges),
+                _fmt(acct.sequential_epsilon),
+                _fmt(acct.parallel_epsilon),
+                _fmt(acct.spent),
+                _fmt(acct.degraded_epsilon),
+                _fmt(acct.limit),
+                _fmt(acct.remaining),
+                str(acct.n_renewals),
+            )
+        )
+    lines = [title, "=" * len(title), ""]
+    if not rows:
+        lines.append("(no budget accounts recorded)")
+        return "\n".join(lines)
+
+    widths = [
+        max(len(headers[c]), max(len(row[c]) for row in rows))
+        for c in range(len(headers))
+    ]
+    lines.append("  ".join(h.ljust(widths[c]) for c, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)))
+
+    accounts = list(store.accounts())
+    peak = max((acct.spent + acct.degraded_epsilon for acct in accounts), default=0.0)
+    if peak > 0:
+        lines.append("")
+        lines.append("composed ε by account (# enforced, * degraded):")
+        label_width = max(len(f"{a.tenant}/{a.principal}") for a in accounts)
+        for acct in accounts:
+            enforced = int(round(_CHART_WIDTH * acct.spent / peak))
+            degraded = int(round(_CHART_WIDTH * acct.degraded_epsilon / peak))
+            bar = "#" * enforced + "*" * degraded
+            label = f"{acct.tenant}/{acct.principal}".ljust(label_width)
+            lines.append(
+                f"  {label}  {bar or '.'} {_fmt(acct.spent)}"
+                + (f" (+{_fmt(acct.degraded_epsilon)} degraded)" if acct.n_degraded else "")
+            )
+    return "\n".join(lines)

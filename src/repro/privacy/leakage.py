@@ -53,16 +53,33 @@ def kl_divergence(p, q) -> float:
 
     Zero-probability points of ``p`` contribute nothing; a point where
     ``p > 0`` but ``q = 0`` yields ``inf`` (the distributions are then
-    perfectly distinguishable there).  The result is clamped at zero:
-    KL is non-negative by Gibbs' inequality, but near-identical inputs
-    can leave a ``−1e-16``-scale float residue that would otherwise
-    break downstream identities such as Pinsker's ``sqrt(KL/2)``.
+    perfectly distinguishable there).
+
+    Instead of summing signed ``p·ln(p/q)`` terms — whose cancellation
+    for near-identical inputs leaves ``−1e-16``-scale float residues
+    that break downstream identities such as Pinsker's ``sqrt(KL/2)`` —
+    each point is evaluated in the Bregman form
+
+        ``q·((1+r)·ln(1+r) − r)``  with  ``r = (p − q)/q``,
+
+    which is pointwise non-negative by convexity of ``x ln x``, computed
+    via ``log1p`` for accuracy at small ``r``, and clipped at 0 so
+    rounding can never push a term negative.  Mass of ``q`` outside
+    ``p``'s support enters through the ``−r`` correction as ``+q(x)``
+    (the limit of the bracket as ``p → 0``), so the exact identity
+    ``Σ p ln(p/q) = Σ q·((1+r)ln(1+r) − r)`` holds over the full
+    support.  The result is therefore exactly 0 for identical inputs
+    and strictly non-negative everywhere — no final clamp needed.
     """
     p, q = _validate_pair(p, q)
     support = p > 0
     if np.any(q[support] == 0):
         return float("inf")
-    return float(max(np.sum(p[support] * np.log(p[support] / q[support])), 0.0))
+    ps, qs = p[support], q[support]
+    r = (ps - qs) / qs
+    terms = qs * ((1.0 + r) * np.log1p(r) - r)
+    np.clip(terms, 0.0, None, out=terms)
+    return float(terms.sum() + q[~support].sum())
 
 
 def max_log_ratio(p, q) -> float:

@@ -17,6 +17,11 @@ successful outcome*:
   :class:`numpy.random.SeedSequence` (monotone, capped, deadline-bounded).
   Transient failures are retried with the *same* instance seed, so a
   recovered instance is bit-identical to a never-faulted one.
+* :mod:`repro.resilience.journal` — :class:`JsonlJournal`, the shared
+  append-only JSON-lines file discipline (schema'd meta header, fsync'd
+  appends, torn-final-line-tolerant replay) under both the sweep
+  checkpoint and the privacy-budget journal
+  (:class:`repro.privacy.budget.JsonlBudgetStore`).
 * :mod:`repro.resilience.checkpoint` — :class:`SweepCheckpoint`,
   JSON-lines checkpoint/resume keyed by :func:`seed_fingerprint`, so a
   killed sweep resumes to results (and merged metrics and privacy-ledger
@@ -69,6 +74,7 @@ from repro.resilience.faults import (
     TransientFaultError,
     ensure_outcome_sane,
 )
+from repro.resilience.journal import JsonlJournal
 from repro.resilience.retry import NO_RETRY, RetryPolicy, is_transient, retry_stream
 
 __all__ = [
@@ -88,7 +94,8 @@ __all__ = [
     "NO_RETRY",
     "retry_stream",
     "is_transient",
-    # checkpoint
+    # journal / checkpoint
+    "JsonlJournal",
     "CHECKPOINT_SCHEMA",
     "SweepCheckpoint",
     "seed_fingerprint",

@@ -17,23 +17,26 @@ File layout::
     {"type": "point", "key": "<fingerprint>", "index": 0, "payload": ..., "snapshot": ...}
     ...
 
-Durability: every :meth:`SweepCheckpoint.append` flushes and fsyncs, so
-a kill loses at most the record being written — which :meth:`load`
-tolerates by discarding a torn final line.  Single writer per file is
-assumed (one sweep process owns its checkpoint).
+The file discipline — header validation, durable appends, torn-final-line
+tolerance — is the shared :class:`~repro.resilience.journal.JsonlJournal`
+machinery, which the privacy-budget journal
+(:class:`repro.privacy.budget.JsonlBudgetStore`) reuses too.  Every
+:meth:`SweepCheckpoint.append` flushes and fsyncs, so a kill loses at
+most the record being written — which :meth:`load` tolerates by
+discarding a torn final line.  Single writer per file is assumed (one
+sweep process owns its checkpoint).
 """
 
 from __future__ import annotations
 
-import json
 import logging
-import os
 from pathlib import Path
 from typing import Mapping, Union
 
 import numpy as np
 
 from repro.exceptions import CheckpointError
+from repro.resilience.journal import JsonlJournal
 
 __all__ = ["CHECKPOINT_SCHEMA", "SweepCheckpoint", "seed_fingerprint"]
 
@@ -99,6 +102,17 @@ class SweepCheckpoint:
         self.path = Path(path)
         self.context = dict(context or {})
 
+    def _journal(self) -> JsonlJournal:
+        # A fresh non-persistent journal per operation keeps the
+        # checkpoint object free of open handles (and hence picklable).
+        return JsonlJournal(
+            self.path,
+            schema=CHECKPOINT_SCHEMA,
+            context=self.context,
+            label="checkpoint",
+            error_type=CheckpointError,
+        )
+
     def exists(self) -> bool:
         """Whether the checkpoint file is already on disk."""
         return self.path.exists()
@@ -114,34 +128,8 @@ class SweepCheckpoint:
         checkpoint's ``context`` raises
         :class:`~repro.exceptions.CheckpointError`.
         """
-        if not self.path.exists():
-            return {}
-        raw_lines = self.path.read_text(encoding="utf-8").splitlines()
-        lines = [(no, line) for no, line in enumerate(raw_lines, start=1) if line.strip()]
         records: dict[str, dict] = {}
-        for position, (line_no, line) in enumerate(lines):
-            try:
-                obj = json.loads(line)
-            except json.JSONDecodeError as exc:
-                if position == len(lines) - 1:
-                    logger.warning(
-                        "checkpoint %s: discarding torn final line %d", self.path, line_no
-                    )
-                    break
-                raise CheckpointError(
-                    f"checkpoint {self.path} line {line_no}: not valid JSON ({exc})"
-                ) from exc
-            if not isinstance(obj, dict) or "type" not in obj:
-                raise CheckpointError(
-                    f"checkpoint {self.path} line {line_no}: not a typed JSON object"
-                )
-            if position == 0:
-                self._check_header(obj, line_no)
-                continue
-            if obj["type"] == "meta":
-                raise CheckpointError(
-                    f"checkpoint {self.path} line {line_no}: duplicate meta header"
-                )
+        for line_no, obj in self._journal().replay():
             if obj["type"] != "point":
                 raise CheckpointError(
                     f"checkpoint {self.path} line {line_no}: unknown type {obj['type']!r}"
@@ -153,23 +141,6 @@ class SweepCheckpoint:
             records[str(obj["key"])] = obj
         logger.debug("loaded checkpoint %s: %d records", self.path, len(records))
         return records
-
-    def _check_header(self, obj: dict, line_no: int) -> None:
-        if obj.get("type") != "meta":
-            raise CheckpointError(
-                f"checkpoint {self.path} line {line_no}: first line must be the meta header"
-            )
-        if obj.get("schema") != CHECKPOINT_SCHEMA:
-            raise CheckpointError(
-                f"checkpoint {self.path}: unsupported schema {obj.get('schema')!r} "
-                f"(expected {CHECKPOINT_SCHEMA!r})"
-            )
-        for key, value in self.context.items():
-            if key in obj and obj[key] != value:
-                raise CheckpointError(
-                    f"checkpoint {self.path}: header {key}={obj[key]!r} does not match "
-                    f"this run's {key}={value!r} — refusing to resume a different sweep"
-                )
 
     # -- writing --------------------------------------------------------
 
@@ -197,25 +168,15 @@ class SweepCheckpoint:
             metrics and the privacy-ledger trail match an uninterrupted
             run exactly.
         """
-        from repro.obs.recorder import dumps_json
-
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        new_file = not self.path.exists()
-        record = {
-            "type": "point",
-            "key": str(key),
-            "index": index,
-            "payload": payload,
-            "snapshot": None if snapshot is None else dict(snapshot),
-        }
-        with self.path.open("a", encoding="utf-8") as handle:
-            if new_file:
-                header = {"type": "meta", "schema": CHECKPOINT_SCHEMA}
-                header.update(self.context)
-                handle.write(dumps_json(header) + "\n")
-            handle.write(dumps_json(record) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        self._journal().append(
+            {
+                "type": "point",
+                "key": str(key),
+                "index": index,
+                "payload": payload,
+                "snapshot": None if snapshot is None else dict(snapshot),
+            }
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SweepCheckpoint(path={str(self.path)!r})"

@@ -1,0 +1,138 @@
+"""Admission-control tests: refuse, degrade, and renewal schedules."""
+
+import pytest
+
+from repro.exceptions import BudgetExceededError
+from repro.privacy.budget import (
+    AdmissionController,
+    InMemoryBudgetStore,
+    RenewalSchedule,
+    current_budget_scope,
+    use_budget_store,
+)
+
+
+def _spend(store, amount, tenant="t", principal="p"):
+    store.charge(tenant, principal, mechanism="m", epsilon=amount)
+
+
+class TestRefusePolicy:
+    def test_affordable_draw_is_allowed(self):
+        store = InMemoryBudgetStore(limit=1.0)
+        control = AdmissionController(store)
+        decision = control.admit("t", "p", mechanism="m", epsilon=0.5)
+        assert decision.allowed and not decision.degrade
+        assert decision.remaining == 1.0
+
+    def test_unaffordable_draw_raises_before_spending(self):
+        store = InMemoryBudgetStore(limit=1.0)
+        control = AdmissionController(store)
+        _spend(store, 0.8)
+        with pytest.raises(BudgetExceededError, match="admission refused") as info:
+            control.admit("t", "p", mechanism="dp-hsrc", epsilon=0.5)
+        assert info.value.tenant == "t"
+        assert info.value.mechanism == "dp-hsrc"
+        # Pre-flight refusal spends nothing.
+        assert store.spent("t", "p") == pytest.approx(0.8)
+
+    def test_unlimited_account_always_admits(self):
+        store = InMemoryBudgetStore()
+        control = AdmissionController(store)
+        _spend(store, 100.0)
+        assert control.admit("t", "p", mechanism="m", epsilon=50.0).allowed
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_exhausted"):
+            AdmissionController(InMemoryBudgetStore(), on_exhausted="explode")
+
+
+class TestDegradePolicy:
+    def test_exhausted_account_degrades_instead_of_raising(self):
+        store = InMemoryBudgetStore(limit=1.0)
+        control = AdmissionController(store, on_exhausted="degrade")
+        _spend(store, 0.8)
+        decision = control.admit("t", "p", mechanism="m", epsilon=0.5)
+        assert decision.degrade and not decision.allowed
+        assert decision.remaining == pytest.approx(0.2)
+
+    def test_other_tenants_unaffected(self):
+        store = InMemoryBudgetStore(limit=1.0)
+        control = AdmissionController(store, on_exhausted="degrade")
+        _spend(store, 1.0, tenant="poor")
+        assert control.admit("poor", "p", mechanism="m", epsilon=0.5).degrade
+        assert control.admit("rich", "p", mechanism="m", epsilon=0.5).allowed
+
+
+class TestRenewalSchedules:
+    def test_schedule_requires_a_trigger(self):
+        with pytest.raises(ValueError, match="every_charges"):
+            RenewalSchedule()
+        with pytest.raises(ValueError):
+            RenewalSchedule(every_charges=0)
+
+    def test_renew_by_charge_count(self):
+        store = InMemoryBudgetStore(limit=1.0)
+        control = AdmissionController(
+            store, renewal=RenewalSchedule(every_charges=2)
+        )
+        _spend(store, 0.5)
+        _spend(store, 0.5)
+        decision = control.admit("t", "p", mechanism="m", epsilon=0.5)
+        assert decision.renewed and decision.allowed
+        assert store.spent("t", "p") == 0.0
+        assert store.account("t", "p").n_renewals == 1
+
+    def test_renew_by_logical_clock_epoch(self):
+        store = InMemoryBudgetStore(limit=1.0)
+        control = AdmissionController(
+            store, renewal=RenewalSchedule(epoch_length=10)
+        )
+        _spend(store, 1.0)
+        # Same epoch: no renewal, so the refuse policy fires.
+        with pytest.raises(BudgetExceededError):
+            control.admit("t", "p", mechanism="m", epsilon=0.5)
+        control.advance_clock(10)
+        decision = control.admit("t", "p", mechanism="m", epsilon=0.5)
+        assert decision.renewed and decision.allowed
+        assert store.account("t", "p").epoch == 1
+
+    def test_epoch_renewal_fires_once_per_epoch(self):
+        store = InMemoryBudgetStore(limit=1.0)
+        control = AdmissionController(store, renewal=RenewalSchedule(epoch_length=5))
+        _spend(store, 0.25)
+        control.advance_clock(5)
+        assert control.admit("t", "p", mechanism="m", epsilon=0.1).renewed
+        assert not control.admit("t", "p", mechanism="m", epsilon=0.1).renewed
+        assert store.account("t", "p").n_renewals == 1
+
+
+class TestBudgetScope:
+    def test_default_scope_is_inactive(self):
+        scope = current_budget_scope()
+        assert not scope.active
+        # Inactive scopes still answer admit() — always allowed.
+        assert scope.admit(mechanism="m", epsilon=9.9).allowed
+
+    def test_use_budget_store_installs_and_restores(self):
+        store = InMemoryBudgetStore(limit=1.0)
+        with use_budget_store(store, tenant="acme", principal="eu") as scope:
+            assert current_budget_scope() is scope
+            assert scope.active
+            scope.charge(mechanism="m", epsilon=0.5)
+        assert not current_budget_scope().active
+        assert store.spent("acme", "eu") == pytest.approx(0.5)
+
+    def test_with_tenant_repoints_the_account(self):
+        store = InMemoryBudgetStore()
+        with use_budget_store(store, tenant="a") as scope:
+            other = scope.with_tenant("b", "workers")
+            other.charge(mechanism="m", epsilon=0.25)
+        assert store.spent("b", "workers") == pytest.approx(0.25)
+        assert store.spent("a") == 0.0
+
+    def test_scope_admission_uses_the_scopes_account(self):
+        store = InMemoryBudgetStore(limit=0.5)
+        _spend(store, 0.5, tenant="poor", principal="default")
+        with use_budget_store(store, tenant="poor", on_exhausted="degrade") as scope:
+            assert scope.admit(mechanism="m", epsilon=0.5).degrade
+            assert scope.with_tenant("rich").admit(mechanism="m", epsilon=0.5).allowed

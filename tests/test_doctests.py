@@ -12,6 +12,11 @@ import pytest
 import repro.aggregation.error_bounds
 import repro.bench.batch
 import repro.mechanisms.dp_hsrc
+import repro.privacy.budget
+import repro.privacy.budget.admission
+import repro.privacy.budget.context
+import repro.privacy.budget.journal
+import repro.privacy.budget.store
 import repro.utils.rng
 import repro.utils.tables
 import repro.utils.timer
@@ -23,6 +28,11 @@ MODULES = [
     repro.utils.tables,
     repro.mechanisms.dp_hsrc,
     repro.aggregation.error_bounds,
+    repro.privacy.budget,
+    repro.privacy.budget.store,
+    repro.privacy.budget.journal,
+    repro.privacy.budget.admission,
+    repro.privacy.budget.context,
 ]
 
 

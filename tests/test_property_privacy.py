@@ -72,8 +72,10 @@ class TestDivergenceProperties:
         p = data.draw(distributions(n))
         q = data.draw(distributions(n))
         kl = kl_divergence(p, q)
-        assert kl >= -1e-12
-        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+        # The Bregman-form evaluation is pointwise non-negative — no
+        # tolerance needed, and identical inputs give exactly zero.
+        assert kl >= 0.0
+        assert kl_divergence(p, p) == 0.0
 
     @given(data=st.data(), n=st.integers(2, 10))
     @settings(max_examples=80, deadline=None)
