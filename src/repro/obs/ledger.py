@@ -153,18 +153,28 @@ class PrivacyLedger:
             trail keeps the violating expenditure.
         """
         scope = _ambient_budget_scope()
+        store_exc: BudgetExceededError | None = None
         if scope.active:
-            # Forward into the cross-run budget store first — even for a
+            # Forward into the cross-run budget store — even for a
             # non-keeping ledger, since enforcement must not depend on
             # whether an observability recorder happens to be installed.
-            scope.charge(
-                mechanism=str(mechanism),
-                epsilon=float(epsilon),
-                sensitivity=float(sensitivity),
-                parallel=bool(parallel),
-                degraded=bool(attrs.get("degraded", False)),
-            )
+            # A limit breach is held until the local entry is appended:
+            # the store retained the violating charge, and the per-run
+            # trail must show the same expenditure or the two disagree
+            # on the overspending draw.
+            try:
+                scope.charge(
+                    mechanism=str(mechanism),
+                    epsilon=float(epsilon),
+                    sensitivity=float(sensitivity),
+                    parallel=bool(parallel),
+                    degraded=bool(attrs.get("degraded", False)),
+                )
+            except BudgetExceededError as exc:
+                store_exc = exc
         if not self.keep:
+            if store_exc is not None:
+                raise store_exc
             return 0.0
         validation.require_positive(epsilon, "epsilon")
         validation.require_positive(sensitivity, "sensitivity")
@@ -177,6 +187,8 @@ class PrivacyLedger:
                 attrs=dict(attrs),
             )
         )
+        if store_exc is not None:
+            raise store_exc
         total = self.total_epsilon
         if self.budget is not None and total > self.budget + 1e-12:
             raise BudgetExceededError(

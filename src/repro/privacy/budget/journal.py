@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import json
 import logging
+import threading
 from pathlib import Path
 from typing import Iterator, Mapping, Union
 
@@ -107,6 +108,12 @@ class JsonlBudgetStore(BudgetStore):
             fsync_every=fsync_every,
             persistent_handle=True,
         )
+        # JsonlJournal assumes a single writer; this lock serializes the
+        # journal append *and* the in-memory apply as one unit, so
+        # concurrent charging from multiple threads (promised by the
+        # BudgetStore interface) neither interleaves partial lines nor
+        # journals events in an order the memory state never saw.
+        self._lock = threading.Lock()
         self._replay()
 
     @classmethod
@@ -232,27 +239,29 @@ class JsonlBudgetStore(BudgetStore):
             event["composition"] = "parallel"
         if degraded:
             event["degraded"] = True
-        self._journal.append(event)
-        return self._memory.charge(
-            tenant,
-            principal,
-            mechanism=mechanism,
-            epsilon=epsilon,
-            sensitivity=sensitivity,
-            parallel=parallel,
-            degraded=degraded,
-        )
+        with self._lock:
+            self._journal.append(event)
+            return self._memory.charge(
+                tenant,
+                principal,
+                mechanism=mechanism,
+                epsilon=epsilon,
+                sensitivity=sensitivity,
+                parallel=parallel,
+                degraded=degraded,
+            )
 
     def renew(self, tenant: str, principal: str = "default", *, epoch: int | None = None) -> None:
-        self._journal.append(
-            {
-                "type": "renew",
-                "tenant": str(tenant),
-                "principal": str(principal),
-                "epoch": epoch,
-            }
-        )
-        self._memory.renew(tenant, principal, epoch=epoch)
+        with self._lock:
+            self._journal.append(
+                {
+                    "type": "renew",
+                    "tenant": str(tenant),
+                    "principal": str(principal),
+                    "epoch": epoch,
+                }
+            )
+            self._memory.renew(tenant, principal, epoch=epoch)
 
     def accounts(self) -> Iterator[BudgetAccount]:
         return self._memory.accounts()
@@ -268,11 +277,13 @@ class JsonlBudgetStore(BudgetStore):
 
     def flush(self) -> None:
         """Force any batched journal appends to disk."""
-        self._journal.flush()
+        with self._lock:
+            self._journal.flush()
 
     def close(self) -> None:
         """Flush and close the journal handle."""
-        self._journal.close()
+        with self._lock:
+            self._journal.close()
 
     def __enter__(self) -> "JsonlBudgetStore":
         return self

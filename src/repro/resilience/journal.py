@@ -21,7 +21,11 @@ Durability is tunable: ``fsync_every=1`` (the default) fsyncs after
 every append, so a kill loses at most the record being written;
 larger values batch the fsync for throughput-critical writers (the
 budget-ledger bench) at the cost of a correspondingly larger loss
-window.  Single writer per file is assumed.
+window.  A single writer per file is assumed: :meth:`JsonlJournal.
+append` is not itself synchronized, so owners that append from multiple
+threads must serialize the calls (as
+:class:`~repro.privacy.budget.journal.JsonlBudgetStore` does with an
+internal lock).
 """
 
 from __future__ import annotations
@@ -101,15 +105,22 @@ class JsonlJournal:
         """Yield ``(line_no, record)`` for every record after the header.
 
         Yields nothing when the file does not exist.  A torn final line
-        (a kill mid-:meth:`append`) is discarded with a warning;
-        corruption anywhere else, a wrong schema, or a header
-        contradicting this journal's ``context`` raises ``error_type``.
+        (a kill mid-:meth:`append`) is discarded with a warning *and
+        truncated from the file*, so a later :meth:`append` starts from
+        a clean newline-terminated tail; corruption anywhere else, a
+        wrong schema, or a header contradicting this journal's
+        ``context`` raises ``error_type``.
         """
         if not self.path.exists():
             return
-        raw_lines = self.path.read_text(encoding="utf-8").splitlines()
-        lines = [(no, line) for no, line in enumerate(raw_lines, start=1) if line.strip()]
-        for position, (line_no, line) in enumerate(lines):
+        raw_lines = self.path.read_text(encoding="utf-8").splitlines(keepends=True)
+        lines = []  # (line_no, stripped line, byte offset of line start)
+        offset = 0
+        for no, line in enumerate(raw_lines, start=1):
+            if line.strip():
+                lines.append((no, line, offset))
+            offset += len(line.encode("utf-8"))
+        for position, (line_no, line, start) in enumerate(lines):
             try:
                 obj = json.loads(line)
             except json.JSONDecodeError as exc:
@@ -120,6 +131,7 @@ class JsonlJournal:
                         self.path,
                         line_no,
                     )
+                    self._truncate_to(start)
                     return
                 raise self.error_type(
                     f"{self.label} {self.path} line {line_no}: not valid JSON ({exc})"
@@ -136,6 +148,49 @@ class JsonlJournal:
                     f"{self.label} {self.path} line {line_no}: duplicate meta header"
                 )
             yield line_no, obj
+
+    def _truncate_to(self, size: int) -> None:
+        """Durably truncate the file to ``size`` bytes (torn-tail repair)."""
+        with self.path.open("rb+") as handle:
+            handle.truncate(size)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _repair_torn_tail(self) -> None:
+        """Drop a newline-less final line left by a kill mid-append.
+
+        Append must never continue a torn partial line: the merged line
+        would be silently discarded as the new torn tail (one lost
+        record) or, once more records follow, read as corruption
+        mid-file — bricking the journal.  Called before every append to
+        an existing file; the common case costs one ``stat`` plus one
+        read of the final byte.
+        """
+        size = self.path.stat().st_size
+        if size == 0:
+            return
+        with self.path.open("rb") as handle:
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return
+            # Torn tail: scan backwards for the last complete line.
+            cut = 0
+            pos = size
+            while pos > 0:
+                step = min(4096, pos)
+                handle.seek(pos - step)
+                index = handle.read(step).rfind(b"\n")
+                if index != -1:
+                    cut = pos - step + index + 1
+                    break
+                pos -= step
+        logger.warning(
+            "%s %s: truncating torn final line (%d bytes) before append",
+            self.label,
+            self.path,
+            size - cut,
+        )
+        self._truncate_to(cut)
 
     def _check_header(self, obj: dict, line_no: int) -> None:
         if obj.get("type") != "meta":
@@ -205,6 +260,11 @@ class JsonlJournal:
             return self._handle, False
         self.path.parent.mkdir(parents=True, exist_ok=True)
         new_file = not self.path.exists()
+        if not new_file:
+            self._repair_torn_tail()
+            # A file torn down to nothing (killed mid-header) needs the
+            # meta header rewritten, exactly like a fresh file.
+            new_file = self.path.stat().st_size == 0
         handle = self.path.open("a", encoding="utf-8")
         if self.persistent_handle:
             self._handle = handle

@@ -100,6 +100,47 @@ class TestCorruption:
         reopened = JsonlBudgetStore(path)
         assert reopened.spent("t", "p") == pytest.approx(0.3)
 
+    def test_charge_after_torn_tail_repairs_the_file(self, tmp_path):
+        """Write-after-tear: the reopened store must truncate the torn
+        partial line so post-crash charges land on their own lines —
+        not merge into the tear and corrupt the journal mid-file."""
+        path = tmp_path / "budget.jsonl"
+        with JsonlBudgetStore(path) as store:
+            store.charge("t", "p", mechanism="m", epsilon=0.1)
+        with path.open("a") as handle:
+            handle.write('{"type": "charge", "tenant": "t", "epsi')  # killed mid-write
+        with JsonlBudgetStore(path) as store:
+            store.charge("t", "p", mechanism="m", epsilon=0.2)
+            store.charge("t", "p", mechanism="m", epsilon=0.4)
+        with JsonlBudgetStore(path) as reopened:
+            assert reopened.spent("t", "p") == pytest.approx(0.7)
+
+    def test_torn_tail_with_newline_is_truncated_on_replay(self, tmp_path):
+        """A torn line that kept its newline can't be caught by the
+        last-byte check on append; replay must truncate it instead."""
+        path = tmp_path / "budget.jsonl"
+        with JsonlBudgetStore(path) as store:
+            store.charge("t", "p", mechanism="m", epsilon=0.1)
+        with path.open("a") as handle:
+            handle.write('{"type": "charge", "tenant": "t", "epsi\n')
+        with JsonlBudgetStore(path) as store:
+            store.charge("t", "p", mechanism="m", epsilon=0.2)
+        with JsonlBudgetStore(path) as reopened:
+            assert reopened.spent("t", "p") == pytest.approx(0.3)
+
+    def test_append_without_prior_replay_repairs_torn_tail(self, tmp_path):
+        """The journal repairs on append even when nothing replayed
+        first (the sweep checkpoint's append path)."""
+        from repro.resilience import JsonlJournal
+
+        path = tmp_path / "j.jsonl"
+        journal = JsonlJournal(path, schema="test/1", label="test journal")
+        journal.append({"type": "point", "x": 1})
+        with path.open("a") as handle:
+            handle.write('{"type": "point", "x"')  # killed mid-write
+        journal.append({"type": "point", "x": 2})
+        assert [obj["x"] for _, obj in journal.replay()] == [1, 2]
+
     def test_contradicting_limit_refuses_resume(self, tmp_path):
         path = tmp_path / "budget.jsonl"
         with JsonlBudgetStore(path, limit=0.5) as store:
@@ -186,6 +227,36 @@ class TestCrashAndResume:
         store.flush()
         store.close()
         assert JsonlBudgetStore(path).spent("t", "p") == pytest.approx(0.7)
+
+
+class TestConcurrency:
+    def test_concurrent_charges_replay_to_the_same_state(self, tmp_path):
+        """The store's lock serializes journal append + in-memory apply
+        as one unit, so threads neither interleave partial lines nor
+        journal events in an order the memory state never saw — replay
+        reproduces the live snapshot bit-identically."""
+        import threading
+
+        path = tmp_path / "budget.jsonl"
+        store = JsonlBudgetStore(path, fsync_every=64)
+
+        def worker(tenant):
+            for _ in range(50):
+                store.charge(tenant, "p", mechanism="m", epsilon=0.01)
+                store.charge("shared", "p", mechanism="m", epsilon=0.01)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        live = store.snapshot()
+        store.close()
+        with JsonlBudgetStore(path) as reopened:
+            assert reopened.snapshot() == live
+            assert reopened.spent("shared", "p") == pytest.approx(4 * 50 * 0.01)
 
 
 class TestParityWithInMemory:

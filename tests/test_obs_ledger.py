@@ -87,6 +87,35 @@ class TestBudget:
         assert PrivacyLedger().remaining is None
 
 
+class TestAmbientStoreForwarding:
+    def test_store_overspend_retains_the_local_entry(self):
+        from repro.privacy.budget import InMemoryBudgetStore, use_budget_store
+
+        store = InMemoryBudgetStore(limit=0.5)
+        ledger = PrivacyLedger()
+        with use_budget_store(store, tenant="acme"):
+            ledger.record("m", epsilon=0.4, sensitivity=1.0)
+            with pytest.raises(BudgetExceededError, match="acme"):
+                ledger.record("m", epsilon=0.2, sensitivity=1.0)
+        # Both sides keep the violating expenditure, so the run's trace
+        # and the budget account agree on the overspending draw.
+        assert len(ledger) == 2
+        assert ledger.total_epsilon == pytest.approx(0.6)
+        assert store.spent("acme") == pytest.approx(0.6)
+
+    def test_store_overspend_raises_even_for_non_keeping_ledger(self):
+        from repro.privacy.budget import InMemoryBudgetStore, use_budget_store
+
+        store = InMemoryBudgetStore(limit=0.5)
+        ledger = PrivacyLedger(keep=False)
+        with use_budget_store(store, tenant="acme"):
+            ledger.record("m", epsilon=0.4, sensitivity=1.0)
+            with pytest.raises(BudgetExceededError):
+                ledger.record("m", epsilon=0.2, sensitivity=1.0)
+        assert len(ledger) == 0
+        assert store.spent("acme") == pytest.approx(0.6)
+
+
 class TestAccountantBridge:
     def test_composition_matches_privacy_accountant(self):
         """The ledger and the accountant apply identical pure-DP rules."""
