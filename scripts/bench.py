@@ -42,6 +42,19 @@ shape across commits (timings move with hardware; the ``speedup`` ratios
 are the hardware-independent signal — see docs/USAGE.md §Performance).
 The ``metrics.span_seconds`` breakdown localizes a regression to a phase
 (price-set construction vs greedy covers vs exponential mechanism).
+
+The ``compare`` subcommand automates exactly that reading as a CI gate::
+
+    PYTHONPATH=src python scripts/bench.py compare OLD.json NEW.json \
+        --max-regression 25 --report compare.json
+
+Entries are matched by ``name`` + shape fields; every shared timing
+field (``seconds`` / ``*_seconds``) is diffed, regressions past the
+threshold are localized to span phases via the embedded
+``metrics.span_seconds``, and the machine-readable report (schema
+``repro-bench-compare/1``) is written to ``--report``.  Exit codes:
+0 = within threshold (a self-compare is always 0), 1 = at least one
+timing regressed past ``--max-regression`` percent, 2 = unusable input.
 """
 
 from __future__ import annotations
@@ -718,7 +731,234 @@ def environment() -> dict:
     }
 
 
+# --------------------------------------------------------------------------
+# ``compare`` subcommand: the bench regression gate.
+
+COMPARE_SCHEMA = "repro-bench-compare/1"
+
+#: Fields that identify a benchmark entry (together with ``name``).
+#: Matching on shape keeps a smoke-vs-full comparison honest: entries
+#: with different workload sizes simply never pair up.
+SHAPE_FIELDS = (
+    "backend",
+    "transport",
+    "n_items",
+    "n_constraints",
+    "n_workers",
+    "n_tasks",
+    "n_workers_per_instance",
+    "n_instances",
+    "max_workers",
+    "n_mechanisms",
+    "n_records",
+    "n_tenants",
+    "seed",
+    "dispatch",
+    "alt_kernel",
+)
+
+
+class BenchCompareError(Exception):
+    """An input file the comparator cannot use (exit code 2)."""
+
+
+def _is_timing_field(key: str) -> bool:
+    return key == "seconds" or key.endswith("_seconds")
+
+
+def _entry_identity(entry: dict) -> dict:
+    identity = {"name": entry.get("name", "?")}
+    for field in SHAPE_FIELDS:
+        if field in entry:
+            identity[field] = entry[field]
+    return identity
+
+
+def _entry_key(entry: dict) -> tuple:
+    return tuple(sorted(_entry_identity(entry).items()))
+
+
+def load_bench_doc(path) -> dict:
+    """Load one ``BENCH_*.json`` document, rejecting anything else."""
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BenchCompareError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchCompareError(f"{path} is not valid JSON: {exc}") from exc
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    if not isinstance(schema, str) or not schema.startswith("repro-bench/"):
+        raise BenchCompareError(
+            f"{path} is not a repro-bench document (schema={schema!r})"
+        )
+    if not isinstance(doc.get("results"), list):
+        raise BenchCompareError(f"{path} has no 'results' list")
+    return doc
+
+
+def _phase_deltas(old_entry: dict, new_entry: dict) -> list[dict]:
+    """Per-span-kind seconds deltas, largest slowdown first.
+
+    This is what localizes a headline regression: a jump confined to the
+    ``exp_mech`` phase points at the exponential-mechanism sampler, not
+    the greedy covers.  Entries predating schema v2 have no ``metrics``
+    block and yield an empty localization.
+    """
+    old_phases = (old_entry.get("metrics") or {}).get("span_seconds") or {}
+    new_phases = (new_entry.get("metrics") or {}).get("span_seconds") or {}
+    deltas = []
+    for kind in sorted(set(old_phases) | set(new_phases)):
+        old_s = float(old_phases.get(kind, 0.0))
+        new_s = float(new_phases.get(kind, 0.0))
+        deltas.append(
+            {
+                "phase": kind,
+                "old_seconds": old_s,
+                "new_seconds": new_s,
+                "delta_seconds": new_s - old_s,
+            }
+        )
+    deltas.sort(key=lambda d: -d["delta_seconds"])
+    return deltas
+
+
+def compare_bench_docs(old_doc: dict, new_doc: dict, max_regression_pct: float) -> dict:
+    """Diff two bench documents into a ``repro-bench-compare/1`` report."""
+    old_index = {_entry_key(e): e for e in old_doc["results"] if isinstance(e, dict)}
+    new_index = {_entry_key(e): e for e in new_doc["results"] if isinstance(e, dict)}
+    comparisons: list[dict] = []
+    regressions: list[dict] = []
+    for key, new_entry in new_index.items():
+        old_entry = old_index.get(key)
+        if old_entry is None:
+            continue
+        identity = _entry_identity(new_entry)
+        shared = sorted(
+            k
+            for k in new_entry
+            if _is_timing_field(k) and k in old_entry
+        )
+        for field in shared:
+            old_s = float(old_entry[field])
+            new_s = float(new_entry[field])
+            if old_s > 0:
+                delta_pct = (new_s - old_s) / old_s * 100.0
+            else:
+                delta_pct = float("inf") if new_s > 0 else 0.0
+            record = {
+                "entry": identity,
+                "field": field,
+                "old_seconds": old_s,
+                "new_seconds": new_s,
+                "delta_pct": delta_pct,
+            }
+            comparisons.append(record)
+            if delta_pct > max_regression_pct:
+                regressions.append(
+                    {**record, "phases": _phase_deltas(old_entry, new_entry)}
+                )
+    regressions.sort(key=lambda r: -r["delta_pct"])
+    return {
+        "schema": COMPARE_SCHEMA,
+        "max_regression_pct": max_regression_pct,
+        "old_suite": old_doc.get("suite"),
+        "new_suite": new_doc.get("suite"),
+        "n_matched_entries": sum(1 for k in new_index if k in old_index),
+        "n_old_only": sum(1 for k in old_index if k not in new_index),
+        "n_new_only": sum(1 for k in new_index if k not in old_index),
+        "n_timings_compared": len(comparisons),
+        "comparisons": comparisons,
+        "regressions": regressions,
+    }
+
+
+def compare_main(argv: list[str] | None = None) -> int:
+    """``bench.py compare OLD NEW`` — exit 1 past ``--max-regression``."""
+    parser = argparse.ArgumentParser(
+        prog="bench.py compare",
+        description=(
+            "Diff two BENCH_*.json documents and fail on timing regressions "
+            "past the threshold, localized to span phases."
+        ),
+    )
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="fail when any timing slows down by more than PCT percent (default 25)",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable repro-bench-compare/1 report there",
+    )
+    args = parser.parse_args(argv)
+    if args.max_regression < 0:
+        print("error: --max-regression must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        old_doc = load_bench_doc(args.old)
+        new_doc = load_bench_doc(args.new)
+    except BenchCompareError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if old_doc.get("smoke") != new_doc.get("smoke"):
+        print(
+            "warning: comparing a --smoke run against a full run; shapes "
+            "differ, so most entries will not pair up",
+            file=sys.stderr,
+        )
+    report = compare_bench_docs(old_doc, new_doc, args.max_regression)
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"compared {report['n_timings_compared']} timing(s) across "
+        f"{report['n_matched_entries']} matched entrie(s) "
+        f"({report['n_old_only']} only in old, {report['n_new_only']} only in new)"
+    )
+    if not report["n_timings_compared"]:
+        print(
+            "error: no matching entries to compare — are these the same "
+            "suite and workload size?",
+            file=sys.stderr,
+        )
+        return 2
+    for reg in report["regressions"]:
+        entry = reg["entry"]
+        shape = " ".join(f"{k}={v}" for k, v in entry.items() if k != "name")
+        print(
+            f"REGRESSION {entry['name']} [{shape}] {reg['field']}: "
+            f"{reg['old_seconds'] * 1e3:.2f} ms -> {reg['new_seconds'] * 1e3:.2f} ms "
+            f"(+{reg['delta_pct']:.1f}% > {args.max_regression:g}%)"
+        )
+        for phase in reg["phases"][:3]:
+            if phase["delta_seconds"] > 0:
+                print(
+                    f"    phase {phase['phase']}: "
+                    f"{phase['old_seconds'] * 1e3:.2f} ms -> "
+                    f"{phase['new_seconds'] * 1e3:.2f} ms"
+                )
+    if report["regressions"]:
+        print(
+            f"{len(report['regressions'])} timing(s) regressed past "
+            f"{args.max_regression:g}%",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"no timing regressed past {args.max_regression:g}%")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "compare":
+        return compare_main(argv[1:])
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke",

@@ -28,6 +28,7 @@ ambient :mod:`repro.obs` recorder (``resilience.*`` counters and
 
 from __future__ import annotations
 
+import hashlib
 import logging
 import os
 import time
@@ -77,6 +78,33 @@ def _tenant_scope(scope, tenants: Optional[Sequence[str]], index: int):
     return use_budget_scope(scope.with_tenant(tenants[index]))
 
 
+def _derive_trace_id(
+    seeds: Sequence[np.random.SeedSequence], n: int, mechanism_name: str
+) -> str:
+    """Deterministic batch trace id from the master seed's entropy.
+
+    A function of (entropy, batch size, mechanism) only — never of the
+    backend, transport, or scheduling — so the serial and process paths
+    stamp identical ids and their merged snapshots stay bit-identical.
+    An unseeded batch gets fresh entropy from numpy, hence a fresh id
+    per run, which is exactly what a trace id should do.
+    """
+    entropy = seeds[0].entropy if seeds else None
+    material = f"{entropy}:{n}:{mechanism_name}"
+    return hashlib.blake2s(material.encode("utf-8"), digest_size=8).hexdigest()
+
+
+def _trace_context(trace_id: Optional[str], index: int) -> Optional[dict]:
+    """The correlation attrs stamped into unit ``index``'s recorder."""
+    if trace_id is None:
+        return None
+    return {
+        "trace_id": trace_id,
+        "parent_span": f"{trace_id}:batch",
+        "unit": int(index),
+    }
+
+
 def _run_one(
     mechanism: Mechanism,
     instance: AuctionInstance,
@@ -85,6 +113,7 @@ def _run_one(
     fault_plan: Optional[FaultPlan] = None,
     index: int = 0,
     attempt: int = 0,
+    trace_id: Optional[str] = None,
 ) -> tuple[AuctionOutcome, Optional[dict]]:
     """Execute one instance with its dedicated seed sequence.
 
@@ -97,7 +126,9 @@ def _run_one(
     returned alongside the outcome.  The serial path uses the *same*
     fresh-recorder-per-instance protocol, so merged metrics are
     identical across backends (merging happens in input order in
-    :meth:`BatchAuctionRunner.run`).
+    :meth:`BatchAuctionRunner.run`).  With a ``trace_id``, the unit
+    recorder stamps ``{trace_id, parent_span, unit}`` into every span it
+    records, so the merged trace reconstructs the batch timeline.
 
     When a ``fault_plan`` is supplied, the plan's fault for
     ``(index, attempt)`` is injected: crash/timeout/transient faults
@@ -115,7 +146,7 @@ def _run_one(
             outcome = mechanism.run(instance, np.random.default_rng(seed))
         snapshot = None
     else:
-        local = MetricsRecorder()
+        local = MetricsRecorder(trace=_trace_context(trace_id, index))
         with use_recorder(local), use_engine(scoped_engine()):
             outcome = mechanism.run(instance, np.random.default_rng(seed))
         snapshot = local.snapshot()
@@ -132,6 +163,7 @@ def _run_one_guarded(
     fault_plan: Optional[FaultPlan] = None,
     index: int = 0,
     attempt: int = 0,
+    trace_id: Optional[str] = None,
 ) -> tuple[Optional[AuctionOutcome], Optional[dict], Optional[Exception]]:
     """:func:`_run_one`, but failures return instead of raise.
 
@@ -143,7 +175,8 @@ def _run_one_guarded(
     """
     try:
         outcome, snapshot = _run_one(
-            mechanism, instance, seed, collect_metrics, fault_plan, index, attempt
+            mechanism, instance, seed, collect_metrics, fault_plan, index, attempt,
+            trace_id,
         )
         return outcome, snapshot, None
     except Exception as exc:  # noqa: BLE001 - the whole point is containment
@@ -157,6 +190,7 @@ def _run_one_shared_guarded(
     collect_metrics: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     index: int = 0,
+    trace_id: Optional[str] = None,
 ) -> tuple[Optional[AuctionOutcome], Optional[dict], Optional[Exception]]:
     """:func:`_run_one_guarded` over a shared-memory instance.
 
@@ -171,7 +205,8 @@ def _run_one_shared_guarded(
     except Exception as exc:  # noqa: BLE001 - containment, as above
         return None, None, exc
     return _run_one_guarded(
-        mechanism, instance, seed, collect_metrics, fault_plan, index
+        mechanism, instance, seed, collect_metrics, fault_plan, index,
+        trace_id=trace_id,
     )
 
 
@@ -196,6 +231,15 @@ class BatchRunResult:
         quarantined instance (empty on a clean run), in input order —
         each carries the instance index, its seed, the causal exception,
         and the attempt count.
+    trace_id:
+        The batch's correlation id — deterministic for a seeded batch
+        (same seed ⇒ same id on every backend/transport), stamped into
+        every unit span's attrs when metrics were collected.
+    metrics:
+        Merged ``repro-metrics/2`` snapshot of the per-unit recorders
+        (input order), or ``None`` when the batch ran without a
+        recording recorder.  Render with :meth:`render_openmetrics` or
+        merge into any :class:`~repro.obs.MetricsRecorder`.
     """
 
     outcomes: tuple[Optional[AuctionOutcome], ...]
@@ -203,6 +247,8 @@ class BatchRunResult:
     max_workers: int
     wall_time: float
     failed: tuple[InstanceExecutionError, ...] = ()
+    trace_id: Optional[str] = None
+    metrics: Optional[dict] = None
 
     @property
     def n_instances(self) -> int:
@@ -230,6 +276,25 @@ class BatchRunResult:
             [np.nan if outcome is None else outcome.price for outcome in self.outcomes],
             dtype=float,
         )
+
+    def render_openmetrics(self) -> str:
+        """OpenMetrics exposition of the batch's merged metrics snapshot.
+
+        Raises
+        ------
+        ValueError
+            When the batch ran without a recording recorder (``metrics``
+            is ``None``) — there is nothing to expose.
+        """
+        if self.metrics is None:
+            raise ValueError(
+                "batch ran without a recording recorder; pass a "
+                "MetricsRecorder (or install one with use_recorder) to "
+                "collect metrics"
+            )
+        from repro.obs.export import render_openmetrics
+
+        return render_openmetrics(self.metrics)
 
 
 class BatchAuctionRunner:
@@ -418,6 +483,20 @@ class BatchAuctionRunner:
         retry = self.retry if self.retry is not None else ambient.retry
         fault_plan = self.fault_plan if self.fault_plan is not None else ambient.fault_plan
         n = len(instances)
+        # The correlation id is a function of (master entropy, batch
+        # size, mechanism) only — never backend/transport/scheduling —
+        # so serial and pooled runs of the same seeded batch stamp the
+        # *same* id and their merged traces stay bit-identical.
+        trace_id = _derive_trace_id(seeds, n, self.mechanism.name) if collect else None
+        batch_attrs: dict = dict(
+            backend=backend,
+            max_workers=workers,
+            n_instances=n,
+            transport=self.transport,
+        )
+        if trace_id is not None:
+            batch_attrs["trace_id"] = trace_id
+            batch_attrs["span_id"] = f"{trace_id}:batch"
         shared = None
         if self.transport == "shared_memory" and n:
             shared = SharedInstanceBatch.create(instances)
@@ -426,10 +505,7 @@ class BatchAuctionRunner:
             with sink.span(
                 "batch",
                 f"batch.{self.mechanism.name}",
-                backend=backend,
-                max_workers=workers,
-                n_instances=n,
-                transport=self.transport,
+                **batch_attrs,
             ):
                 if backend == "serial":
                     triples = []
@@ -443,7 +519,8 @@ class BatchAuctionRunner:
                         with _tenant_scope(scope, tenants, i):
                             triples.append(
                                 _run_one_guarded(
-                                    self.mechanism, instance, child, collect, fault_plan, i
+                                    self.mechanism, instance, child, collect,
+                                    fault_plan, i, trace_id=trace_id,
                                 )
                             )
                         del instance
@@ -458,6 +535,8 @@ class BatchAuctionRunner:
                                 [collect] * n,
                                 [fault_plan] * n,
                                 range(n),
+                                [0] * n,
+                                [trace_id] * n,
                                 chunksize=max(1, n // (4 * workers) or 1),
                             )
                         )
@@ -472,28 +551,40 @@ class BatchAuctionRunner:
                                 [collect] * n,
                                 [fault_plan] * n,
                                 range(n),
+                                [trace_id] * n,
                                 chunksize=max(1, n // (4 * workers) or 1),
                             )
                         )
                 outcomes, snapshots, failed = self._settle(
                     triples, instances, seeds, retry, fault_plan, collect, sink,
-                    scope, tenants,
+                    scope, tenants, trace_id,
                 )
         finally:
             if shared is not None:
                 shared.dispose()
         wall = time.perf_counter() - start
+        metrics = None
         if collect:
+            # A private recorder merges the same per-unit snapshots in
+            # the same input order as the caller's sink, so
+            # ``result.metrics`` is exportable on its own without
+            # entangling it with whatever else the sink has recorded.
+            local = MetricsRecorder()
             for snapshot in snapshots:
                 if snapshot is not None:
                     sink.merge_snapshot(snapshot)
+                    local.merge_snapshot(snapshot)
             sink.count("batch.instances", n)
+            local.count("batch.instances", n)
+            metrics = local.snapshot()
         return BatchRunResult(
             outcomes=tuple(outcomes),
             backend=backend,
             max_workers=workers,
             wall_time=wall,
             failed=tuple(failed),
+            trace_id=trace_id,
+            metrics=metrics,
         )
 
     def _settle(
@@ -507,6 +598,7 @@ class BatchAuctionRunner:
         sink: Recorder,
         scope=None,
         tenants: Sequence[str] | None = None,
+        trace_id: Optional[str] = None,
     ) -> tuple[list, list, list]:
         """Retry transient failures and quarantine permanent ones.
 
@@ -543,7 +635,7 @@ class BatchAuctionRunner:
                 with _tenant_scope(scope, tenants, i):
                     outcome, snapshot, error = _run_one_guarded(
                         self.mechanism, instances[i], seeds[i], collect,
-                        fault_plan, i, attempt,
+                        fault_plan, i, attempt, trace_id,
                     )
             if error is not None:
                 wrapped = InstanceExecutionError(i, seeds[i], error, attempts=attempt + 1)

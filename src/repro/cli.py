@@ -14,6 +14,9 @@ Observability (see docs/OBSERVABILITY.md)::
 
     python -m repro figure5 --fast --trace trace.jsonl   # JSON-lines trace
     python -m repro figure5 --fast --metrics             # ASCII summary
+    python -m repro figure5 --fast --metrics-format openmetrics  # scrapeable
+    python -m repro trace validate trace.jsonl           # schema check
+    python -m repro trace report trace.jsonl             # offline summary
     python -m repro figure5 --fast -vv                   # debug logging
 
 ``--trace``/``--metrics`` install a :class:`repro.obs.MetricsRecorder`
@@ -60,6 +63,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import logging
+import os
 import sys
 from typing import Sequence
 
@@ -164,6 +168,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the ASCII metrics/ledger summary after the experiments",
     )
     parser.add_argument(
+        "--metrics-format",
+        choices=("ascii", "openmetrics", "json"),
+        default="ascii",
+        help=(
+            "metrics output format: 'ascii' (human report, default), "
+            "'openmetrics' (scrapeable text exposition incl. ledger-ε and "
+            "budget-account gauges), or 'json' (structured export); a "
+            "non-ascii format implies --metrics"
+        ),
+    )
+    parser.add_argument(
         "--max-retries",
         type=int,
         default=None,
@@ -236,8 +251,58 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _trace_main(argv: Sequence[str]) -> int:
+    """``repro trace {validate,report} PATH`` — offline trace tooling.
+
+    ``validate`` checks a ``repro-trace/1`` file against the schema
+    (exit 1 on any violation); ``report`` validates and then renders the
+    same ASCII summary the live recorder produces, reconstructed purely
+    from the file.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Validate or summarize a repro-trace/1 JSON-lines file.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for command, blurb in (
+        ("validate", "check the trace against the repro-trace/1 schema"),
+        ("report", "validate, then print the ASCII summary report"),
+    ):
+        cmd = sub.add_parser(command, help=blurb)
+        cmd.add_argument("path", help="path to the JSON-lines trace file")
+    args = parser.parse_args(argv)
+
+    from repro.exceptions import ValidationError
+    from repro.obs import read_trace, render_trace_report, validate_trace_file
+
+    try:
+        summary = validate_trace_file(args.path)
+    except (OSError, ValidationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.command == "validate":
+        print(
+            f"{args.path}: valid repro-trace/1 "
+            f"({summary['n_spans']} span(s), "
+            f"{summary['ledger_entries']} ledger entrie(s), "
+            f"composed ε = {summary['total_epsilon']:g})"
+        )
+        return 0
+    try:
+        print(render_trace_report(read_trace(args.path)))
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; swap stdout for devnull so
+        # the interpreter's exit-time flush doesn't raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     args = _build_parser().parse_args(argv)
     configure_logging(args.verbose)
 
@@ -290,8 +355,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     from repro.resilience import FaultPlan, ResilienceConfig, RetryPolicy, use_resilience
 
+    # A non-ascii --metrics-format implies metrics recording: asking for
+    # an OpenMetrics/JSON exposition without --metrics would otherwise
+    # silently print an empty document.
+    want_metrics = args.metrics or args.metrics_format != "ascii"
     recorder = (
-        MetricsRecorder() if (args.trace is not None or args.metrics) else NULL_RECORDER
+        MetricsRecorder() if (args.trace is not None or want_metrics) else NULL_RECORDER
     )
     try:
         retry = None
@@ -378,12 +447,32 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if args.metrics:
-        print(recorder.report())
-        print()
-        if budget_store is not None:
-            print(render_audit_report(budget_store))
+    if want_metrics:
+        if args.metrics_format == "openmetrics":
+            from repro.obs import render_openmetrics
+
+            # render_openmetrics already ends with "# EOF\n"; print
+            # without adding a second trailing newline so the output is
+            # a byte-exact OpenMetrics document.
+            sys.stdout.write(render_openmetrics(recorder, budget_store=budget_store))
+        elif args.metrics_format == "json":
+            import json as _json
+
+            from repro.obs import render_metrics_json
+
+            print(
+                _json.dumps(
+                    render_metrics_json(recorder, budget_store=budget_store),
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(recorder.report())
             print()
+            if budget_store is not None:
+                print(render_audit_report(budget_store))
+                print()
     if args.trace is not None:
         path = recorder.write_trace(
             args.trace,

@@ -37,8 +37,20 @@ Quickstart
 ['exp_mech', 'greedy_group', 'price_set', 'sample']
 """
 
+from repro.obs.aggregate import DEFAULT_RELATIVE_ERROR, QuantileSketch
+from repro.obs.clock import (
+    MONOTONIC_CLOCK,
+    Clock,
+    FakeClock,
+    MonotonicClock,
+    current_clock,
+    use_clock,
+)
+from repro.obs.encoding import dumps_json
+from repro.obs.export import parse_openmetrics, render_metrics_json, render_openmetrics
 from repro.obs.ledger import LedgerEntry, PrivacyLedger
 from repro.obs.recorder import (
+    METRICS_SCHEMA,
     NULL_RECORDER,
     MetricsRecorder,
     NullRecorder,
@@ -52,6 +64,7 @@ from repro.obs.trace import (
     build_trace_lines,
     read_trace,
     render_report,
+    render_trace_report,
     validate_trace_file,
     validate_trace_lines,
 )
@@ -62,9 +75,26 @@ __all__ = [
     "NullRecorder",
     "MetricsRecorder",
     "SpanEvent",
+    "METRICS_SCHEMA",
     "NULL_RECORDER",
     "current_recorder",
     "use_recorder",
+    # aggregation
+    "QuantileSketch",
+    "DEFAULT_RELATIVE_ERROR",
+    # clock
+    "Clock",
+    "MonotonicClock",
+    "FakeClock",
+    "MONOTONIC_CLOCK",
+    "current_clock",
+    "use_clock",
+    # encoding
+    "dumps_json",
+    # export
+    "render_openmetrics",
+    "render_metrics_json",
+    "parse_openmetrics",
     # ledger
     "PrivacyLedger",
     "LedgerEntry",
@@ -75,4 +105,5 @@ __all__ = [
     "validate_trace_file",
     "read_trace",
     "render_report",
+    "render_trace_report",
 ]

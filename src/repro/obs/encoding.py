@@ -1,0 +1,41 @@
+"""The one shared JSON encoder for every telemetry writer.
+
+Trace lines, budget-journal events, and checkpoint records all need the
+same encoding contract: **key-stable** (``sort_keys=True``, so identical
+payloads serialize byte-identically regardless of dict insertion order)
+and **numpy-tolerant** (scalar attrs like ``np.int64`` sizes fall back to
+``.item()``).  Building a :class:`json.JSONEncoder` per call via
+``json.dumps(..., sort_keys=True, default=...)`` dominates high-rate
+writers like the budget journal, so this module constructs the encoder
+once and every writer imports :func:`dumps_json` from here.
+
+This module deliberately imports nothing from :mod:`repro` — it sits
+below the observability/resilience layers in the import graph, so the
+budget journal can import it eagerly without closing the
+``repro.privacy.budget → repro.resilience → repro.obs`` cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+__all__ = ["dumps_json"]
+
+
+def _json_default(obj):
+    """Best-effort JSON fallback for numpy scalars inside span attrs."""
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+# One shared encoder: json.dumps with sort_keys/default kwargs builds a
+# fresh JSONEncoder per call, which dominates high-rate writers like the
+# budget journal.  encode() emits byte-identical output.
+_TRACE_ENCODER = json.JSONEncoder(sort_keys=True, default=_json_default)
+
+
+def dumps_json(obj: Mapping) -> str:
+    """Compact, key-stable JSON used for every trace/journal line."""
+    return _TRACE_ENCODER.encode(obj)

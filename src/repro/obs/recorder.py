@@ -29,22 +29,37 @@ own :class:`MetricsRecorder`, whose picklable :meth:`MetricsRecorder.snapshot`
 travels back to the parent, and snapshots are merged in **input order** —
 so the serial and process-pool backends produce identical merged
 counters and histograms (span wall-clock naturally differs).
+
+Histograms are stored as bounded
+:class:`~repro.obs.aggregate.QuantileSketch` summaries (snapshot schema
+``repro-metrics/2``), not raw sample lists: a million observations of a
+metric cost a few hundred integer buckets instead of a million floats,
+and sketch merging is bucket-count addition, so the serial and pooled
+paths still agree bit-for-bit on every quantile.
+:meth:`MetricsRecorder.merge_snapshot` transparently absorbs v1
+(raw-list) snapshots from older checkpoints by re-observing the samples.
 """
 
 from __future__ import annotations
 
 import contextlib
 import contextvars
-import json
 import logging
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Mapping
 
+from repro.obs.aggregate import DEFAULT_RELATIVE_ERROR, QuantileSketch
+from repro.obs.clock import current_clock
+
+# Canonical home of the shared trace encoder is repro.obs.encoding;
+# re-exported here because every telemetry writer historically imported
+# it from the recorder module.
+from repro.obs.encoding import dumps_json  # noqa: F401
 from repro.obs.ledger import PrivacyLedger
 
 __all__ = [
+    "METRICS_SCHEMA",
     "SpanEvent",
     "Recorder",
     "NullRecorder",
@@ -52,9 +67,15 @@ __all__ = [
     "NULL_RECORDER",
     "current_recorder",
     "use_recorder",
+    "dumps_json",
 ]
 
 logger = logging.getLogger("repro.obs")
+
+#: Snapshot schema identifier.  v2 serializes histograms as
+#: :class:`~repro.obs.aggregate.QuantileSketch` objects; v1 snapshots
+#: (raw sample lists, no ``schema`` key) are still merged losslessly.
+METRICS_SCHEMA = "repro-metrics/2"
 
 #: Canonical span kinds emitted by the instrumented pipeline.  The
 #: vocabulary is open (recorders accept any string) but these are the
@@ -94,22 +115,32 @@ class SpanEvent:
         Wall-clock duration.
     attrs:
         JSON-serializable context (sizes, counts, labels).
+    start:
+        Seconds since the owning recorder was constructed (its clock
+        epoch), or ``None`` for spans merged from pre-``start`` traces.
+        Offsets from different recorders share an epoch only per
+        recorder — the trace gantt correlates them via the stamped
+        ``trace_id``/``unit`` attrs, not by absolute time.
     """
 
     kind: str
     name: str
     seconds: float
     attrs: dict = field(default_factory=dict)
+    start: float | None = None
 
     def to_json_obj(self) -> dict:
         """The span as a plain dict ready for the JSON-lines trace."""
-        return {
+        obj = {
             "type": "span",
             "kind": self.kind,
             "name": self.name,
             "seconds": self.seconds,
             "attrs": dict(self.attrs),
         }
+        if self.start is not None:
+            obj["start"] = self.start
+        return obj
 
 
 class _NullSpan:
@@ -147,13 +178,20 @@ class _LiveSpan:
         self.attrs.update(attrs)
 
     def __enter__(self) -> "_LiveSpan":
-        self._start = time.perf_counter()
+        self._start = self._recorder._clock.now()
         return self
 
     def __exit__(self, *exc_info) -> bool:
-        seconds = time.perf_counter() - self._start
-        self._recorder._record_span(
-            SpanEvent(kind=self.kind, name=self.name, seconds=seconds, attrs=self.attrs)
+        recorder = self._recorder
+        seconds = recorder._clock.now() - self._start
+        recorder._record_span(
+            SpanEvent(
+                kind=self.kind,
+                name=self.name,
+                seconds=seconds,
+                attrs=self.attrs,
+                start=self._start - recorder._epoch,
+            )
         )
         return False
 
@@ -216,6 +254,16 @@ class MetricsRecorder(Recorder):
         :class:`~repro.obs.ledger.PrivacyLedger`; recording a draw that
         pushes the composed total past it raises
         :class:`~repro.exceptions.BudgetExceededError`.
+    relative_error:
+        Accuracy α of the histogram sketches (default 1%); every
+        quantile reported for an observed metric is within ``±α``
+        relative error of the exact sample quantile.
+    trace:
+        Optional trace-correlation context — a mapping such as
+        ``{"trace_id": ..., "parent_span": ..., "unit": ...}`` stamped
+        into the attrs of every span this recorder records, so spans
+        from per-unit worker recorders can be reassembled into one
+        timeline after snapshot merging.
 
     Examples
     --------
@@ -231,11 +279,21 @@ class MetricsRecorder(Recorder):
 
     enabled = True
 
-    def __init__(self, *, budget: float | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        budget: float | None = None,
+        relative_error: float = DEFAULT_RELATIVE_ERROR,
+        trace: Mapping | None = None,
+    ) -> None:
         self.spans: list[SpanEvent] = []
         self.counters: dict[str, float] = {}
-        self.histograms: dict[str, list[float]] = {}
+        self.histograms: dict[str, QuantileSketch] = {}
+        self.relative_error = float(relative_error)
+        self.trace_context: dict = dict(trace or {})
         self._ledger = PrivacyLedger(budget=budget)
+        self._clock = current_clock()
+        self._epoch = self._clock.now()
 
     @property
     def ledger(self) -> PrivacyLedger:
@@ -253,10 +311,28 @@ class MetricsRecorder(Recorder):
         self.counters[name] = self.counters.get(name, 0.0) + float(value)
 
     def observe(self, name: str, value: float) -> None:
-        """Append one sample to histogram ``name``."""
-        self.histograms.setdefault(name, []).append(float(value))
+        """Absorb one sample into the sketch of histogram ``name``."""
+        sketch = self.histograms.get(name)
+        if sketch is None:
+            sketch = self.histograms[name] = QuantileSketch(
+                relative_error=self.relative_error
+            )
+        sketch.observe(value)
 
     def _record_span(self, event: SpanEvent) -> None:
+        if self.trace_context:
+            # The correlation context wins over same-named span attrs:
+            # trace identity is recorder-level configuration, and a span
+            # must not be able to reparent itself out of its unit.
+            attrs = dict(event.attrs)
+            attrs.update(self.trace_context)
+            event = SpanEvent(
+                kind=event.kind,
+                name=event.name,
+                seconds=event.seconds,
+                attrs=attrs,
+                start=event.start,
+            )
         self.spans.append(event)
 
     # -- aggregation ----------------------------------------------------
@@ -283,35 +359,61 @@ class MetricsRecorder(Recorder):
         The inverse operation is :meth:`merge_snapshot`; a worker process
         returns a snapshot and the parent merges it, which is how the
         process-pool backends produce the same merged metrics as the
-        serial path.
+        serial path.  Schema ``repro-metrics/2``: histograms serialize as
+        :class:`~repro.obs.aggregate.QuantileSketch` objects.
         """
         return {
+            "schema": METRICS_SCHEMA,
             "spans": [event.to_json_obj() for event in self.spans],
             "counters": dict(self.counters),
-            "histograms": {name: list(vals) for name, vals in self.histograms.items()},
+            "histograms": {
+                name: sketch.to_json_obj() for name, sketch in self.histograms.items()
+            },
             "ledger": self._ledger.snapshot(),
         }
 
     def merge_snapshot(self, snapshot: Mapping) -> None:
         """Fold one :meth:`snapshot` into this recorder.
 
-        Counters add, histograms extend, spans append in the snapshot's
-        order, ledger entries append.  Merging snapshots in a fixed
-        (input) order is what makes pooled metrics deterministic.
+        Counters add, histogram sketches merge bucket-wise, spans append
+        in the snapshot's order, ledger entries append.  Merging
+        snapshots in a fixed (input) order is what makes pooled metrics
+        deterministic.
+
+        Accepts both schemas: a v2 histogram entry is a serialized
+        sketch (merged; its accuracy must match any sketch this recorder
+        already holds under the same name), a v1 entry is a raw sample
+        list (re-observed at this recorder's ``relative_error`` — old
+        checkpoint files keep merging losslessly).  Missing keys and the
+        empty snapshot are no-ops.
         """
         for obj in snapshot.get("spans", ()):
+            start = obj.get("start")
             self.spans.append(
                 SpanEvent(
                     kind=obj["kind"],
                     name=obj["name"],
                     seconds=float(obj["seconds"]),
                     attrs=dict(obj.get("attrs", {})),
+                    start=None if start is None else float(start),
                 )
             )
         for name, value in snapshot.get("counters", {}).items():
             self.count(name, value)
-        for name, values in snapshot.get("histograms", {}).items():
-            self.histograms.setdefault(name, []).extend(float(v) for v in values)
+        for name, payload in snapshot.get("histograms", {}).items():
+            if isinstance(payload, Mapping):
+                incoming = QuantileSketch.from_json_obj(payload)
+                existing = self.histograms.get(name)
+                if existing is None:
+                    # Adopt the snapshot's accuracy: merging N worker
+                    # snapshots into a fresh sink must not depend on the
+                    # sink's own default.
+                    self.histograms[name] = incoming
+                else:
+                    existing.merge(incoming)
+            else:  # v1 back-compat: a raw list of samples
+                for v in payload:
+                    self.observe(name, float(v))
         self._ledger.merge_snapshot(snapshot.get("ledger", {}))
         logger.debug(
             "merged recorder snapshot: %d spans, %d counters",
@@ -389,21 +491,3 @@ def use_recorder(recorder: Recorder) -> Iterator[Recorder]:
         yield recorder
     finally:
         _CURRENT.reset(token)
-
-
-def _json_default(obj):
-    """Best-effort JSON fallback for numpy scalars inside span attrs."""
-    if hasattr(obj, "item"):
-        return obj.item()
-    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
-
-
-# One shared encoder: json.dumps with sort_keys/default kwargs builds a
-# fresh JSONEncoder per call, which dominates high-rate writers like the
-# budget journal.  encode() emits byte-identical output.
-_TRACE_ENCODER = json.JSONEncoder(sort_keys=True, default=_json_default)
-
-
-def dumps_json(obj: Mapping) -> str:
-    """Compact, key-stable JSON used for every trace line."""
-    return _TRACE_ENCODER.encode(obj)

@@ -225,7 +225,10 @@ class JsonlJournal:
         if dumps is None:
             # Imported lazily (repro.obs must not be pulled in at module
             # load) but bound once: append is the throughput hot path.
-            from repro.obs.recorder import dumps_json
+            # repro.obs.encoding is the encoder's canonical home and is
+            # dependency-free, but importing any repro.obs submodule
+            # still executes the package __init__.
+            from repro.obs.encoding import dumps_json
 
             dumps = self._dumps = dumps_json
 

@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
-import time
-
 __all__ = ["Timer"]
 
 
 class Timer:
     """Context manager measuring elapsed wall-clock seconds.
+
+    Reads the ambient :mod:`repro.obs.clock` (captured at ``__enter__``),
+    so tests can pin elapsed times exactly by installing a
+    :class:`~repro.obs.clock.FakeClock` — the same clock source the
+    recorder's live spans use.
 
     Examples
     --------
@@ -19,13 +22,19 @@ class Timer:
     """
 
     def __init__(self) -> None:
+        self._clock = None
         self._start: float | None = None
         self.elapsed: float = 0.0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        # Imported lazily: repro.utils must stay importable without
+        # triggering the repro.obs package load at module-import time.
+        from repro.obs.clock import current_clock
+
+        self._clock = current_clock()
+        self._start = self._clock.now()
         return self
 
     def __exit__(self, *exc_info) -> None:
         if self._start is not None:
-            self.elapsed = time.perf_counter() - self._start
+            self.elapsed = self._clock.now() - self._start

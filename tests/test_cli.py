@@ -117,3 +117,99 @@ class TestObservabilityFlags:
         finally:
             logger.setLevel(before_level)
             logger.handlers[:] = before_handlers
+
+
+class TestMetricsFormats:
+    def test_openmetrics_format_passes_the_strict_parser(self, capsys):
+        from repro.obs import parse_openmetrics
+
+        assert main(["figure5", "--fast", "--metrics-format", "openmetrics"]) == 0
+        out = capsys.readouterr().out
+        # The exposition document starts after the experiment table.
+        start = out.index("# TYPE")
+        families = parse_openmetrics(out[start:])
+        assert "repro_privacy_epsilon" in families
+        assert any(info["type"] == "histogram" for info in families.values())
+        assert out.endswith("# EOF\n")
+
+    def test_openmetrics_includes_budget_account_gauges(self, capsys):
+        from repro.obs import parse_openmetrics
+
+        assert (
+            main(
+                [
+                    "figure5",
+                    "--fast",
+                    "--metrics-format",
+                    "openmetrics",
+                    "--budget",
+                    "50000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        families = parse_openmetrics(out[out.index("# TYPE"):])
+        samples = families["repro_budget_epsilon_remaining"]["samples"]
+        assert samples[0][1]["tenant"] == "default"
+
+    def test_json_format_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["figure5", "--fast", "--metrics-format", "json"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[out.index('{"'):] if '{"' in out else out[out.index("{"):])
+        assert doc["schema"] == "repro-metrics-export/1"
+        assert doc["ledger"]["total_epsilon"] > 0
+
+    def test_non_ascii_format_implies_metrics(self, capsys):
+        # Without --metrics, a non-ascii format still records and prints.
+        assert main(["table1", "--metrics-format", "openmetrics"]) == 0
+        assert "# EOF" in capsys.readouterr().out
+
+    def test_ascii_format_without_metrics_prints_no_report(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Span time by kind" not in out
+        assert "# EOF" not in out
+
+
+class TestTraceSubcommand:
+    def _write_trace(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["figure5", "--fast", "--trace", str(trace)]) == 0
+        return trace
+
+    def test_validate_accepts_a_good_trace(self, capsys, tmp_path):
+        trace = self._write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "validate", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "valid repro-trace/1" in out
+        assert str(trace) in out
+
+    def test_validate_rejects_a_tampered_trace(self, capsys, tmp_path):
+        trace = self._write_trace(tmp_path)
+        lines = trace.read_text().splitlines()
+        trace.write_text("\n".join(lines[:-1]) + "\n")  # drop the trailer
+        capsys.readouterr()
+        assert main(["trace", "validate", str(trace)]) == 1
+        assert "ledger_total" in capsys.readouterr().err
+
+    def test_validate_missing_file_exits_one(self, capsys):
+        assert main(["trace", "validate", "/nonexistent/trace.jsonl"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_report_renders_the_offline_summary(self, capsys, tmp_path):
+        trace = self._write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Span time by kind" in out
+        assert "Privacy ledger" in out
+
+    def test_report_validates_first(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["trace", "report", str(bad)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err

@@ -1,0 +1,95 @@
+"""Tests for repro.obs.clock and repro.obs.encoding."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    MONOTONIC_CLOCK,
+    FakeClock,
+    MetricsRecorder,
+    MonotonicClock,
+    current_clock,
+    dumps_json,
+    use_clock,
+)
+from repro.utils import Timer
+
+
+class TestClock:
+    def test_default_is_the_monotonic_singleton(self):
+        assert current_clock() is MONOTONIC_CLOCK
+        assert isinstance(MONOTONIC_CLOCK, MonotonicClock)
+
+    def test_monotonic_clock_advances(self):
+        clock = MonotonicClock()
+        assert clock.now() <= clock.now()
+
+    def test_fake_clock_advances_only_on_demand(self):
+        clock = FakeClock(start=10.0)
+        assert clock.now() == 10.0
+        assert clock.now() == 10.0
+        clock.advance(2.5)
+        assert clock.now() == 12.5
+
+    def test_fake_clock_rejects_negative_advance(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1.0)
+
+    def test_use_clock_installs_and_restores(self):
+        fake = FakeClock()
+        with use_clock(fake) as active:
+            assert active is fake
+            assert current_clock() is fake
+        assert current_clock() is MONOTONIC_CLOCK
+
+    def test_spans_read_the_ambient_clock(self):
+        fake = FakeClock(start=100.0)
+        with use_clock(fake):
+            rec = MetricsRecorder()
+            with rec.span("sample"):
+                fake.advance(0.25)
+            with rec.span("exp_mech"):
+                fake.advance(1.5)
+        assert rec.spans[0].seconds == 0.25
+        assert rec.spans[1].seconds == 1.5
+        # Start offsets are relative to the recorder's construction.
+        assert rec.spans[0].start == 0.0
+        assert rec.spans[1].start == 0.25
+
+    def test_timer_reads_the_ambient_clock(self):
+        fake = FakeClock()
+        with use_clock(fake):
+            with Timer() as t:
+                fake.advance(3.0)
+        assert t.elapsed == 3.0
+
+    def test_recorder_binds_clock_at_construction(self):
+        fake = FakeClock()
+        with use_clock(fake):
+            rec = MetricsRecorder()
+        # The recorder keeps the clock it was built under even after the
+        # scope exits — per-unit recorders in pool workers depend on it.
+        with rec.span("sample"):
+            fake.advance(0.5)
+        assert rec.spans[0].seconds == 0.5
+
+
+class TestEncoding:
+    def test_keys_are_sorted(self):
+        assert dumps_json({"b": 1, "a": 2}) == '{"a": 2, "b": 1}'
+
+    def test_numpy_scalars_coerce_via_item(self):
+        payload = dumps_json({"x": np.float64(1.5), "n": np.int64(7)})
+        assert json.loads(payload) == {"x": 1.5, "n": 7}
+
+    def test_unencodable_objects_raise(self):
+        with pytest.raises(TypeError):
+            dumps_json({"x": object()})
+
+    def test_recorder_reexport_is_the_same_function(self):
+        from repro.obs.encoding import dumps_json as canonical
+        from repro.obs.recorder import dumps_json as reexported
+
+        assert reexported is canonical

@@ -1,0 +1,266 @@
+"""Tests for repro.obs.export — OpenMetrics exposition and its parser."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs import (
+    MetricsRecorder,
+    parse_openmetrics,
+    render_metrics_json,
+    render_openmetrics,
+)
+from repro.privacy.budget import InMemoryBudgetStore
+
+
+def _populated_recorder() -> MetricsRecorder:
+    rec = MetricsRecorder()
+    with rec.span("price_set", "demo"):
+        pass
+    with rec.span("exp_mech", "demo"):
+        pass
+    with rec.span("exp_mech", "demo-2"):
+        pass
+    rec.count("auction.runs", 3)
+    rec.count("greedy.iterations", 41)
+    for v in (-2.0, 0.0, 0.5, 1.5, 2.5, 300.0):
+        rec.observe("greedy.residual_demand", v)
+    rec.ledger.record("dp-hsrc", epsilon=0.2, sensitivity=30.0)
+    rec.ledger.record("dp-hsrc", epsilon=0.3, sensitivity=30.0, parallel=True)
+    return rec
+
+
+def _populated_store() -> InMemoryBudgetStore:
+    store = InMemoryBudgetStore(limit=5.0)
+    store.charge("acme", "default", mechanism="dp-hsrc", epsilon=1.0)
+    store.charge("acme", "default", mechanism="dp-hsrc", epsilon=0.5)
+    store.charge("globex", "alice", mechanism="dp-hsrc", epsilon=2.0)
+    return store
+
+
+class TestRenderOpenmetrics:
+    def test_output_passes_the_strict_parser(self):
+        text = render_openmetrics(_populated_recorder())
+        families = parse_openmetrics(text)
+        assert families["repro_auction_runs"]["type"] == "counter"
+        assert families["repro_span_seconds"]["type"] == "counter"
+        assert families["repro_greedy_residual_demand"]["type"] == "histogram"
+        assert families["repro_privacy_epsilon"]["type"] == "gauge"
+
+    def test_counter_values_and_suffix(self):
+        families = parse_openmetrics(render_openmetrics(_populated_recorder()))
+        [(name, labels, value)] = families["repro_auction_runs"]["samples"]
+        assert name == "repro_auction_runs_total"
+        assert labels == {}
+        assert value == 3
+
+    def test_span_kind_labels(self):
+        families = parse_openmetrics(render_openmetrics(_populated_recorder()))
+        counts = {
+            s[1]["kind"]: s[2] for s in families["repro_spans"]["samples"]
+        }
+        assert counts == {"exp_mech": 2, "price_set": 1}
+        seconds = {
+            s[1]["kind"]: s[2] for s in families["repro_span_seconds"]["samples"]
+        }
+        assert all(v >= 0 for v in seconds.values())
+
+    def test_histogram_buckets_cumulative_and_terminal(self):
+        families = parse_openmetrics(render_openmetrics(_populated_recorder()))
+        samples = families["repro_greedy_residual_demand"]["samples"]
+        buckets = [s for s in samples if s[0].endswith("_bucket")]
+        count = next(s[2] for s in samples if s[0].endswith("_count"))
+        total = next(s[2] for s in samples if s[0].endswith("_sum"))
+        assert count == 6
+        assert total == pytest.approx(302.5)
+        assert buckets[-1][1]["le"] == "+Inf"
+        assert buckets[-1][2] == count
+        values = [b[2] for b in buckets]
+        assert values == sorted(values)
+        # The negative observation lands under a negative le bound and
+        # the zero observation under le="0".
+        les = [b[1]["le"] for b in buckets]
+        assert any(le.startswith("-") for le in les)
+        assert "0" in les
+
+    def test_ledger_epsilon_gauges(self):
+        families = parse_openmetrics(render_openmetrics(_populated_recorder()))
+        eps = {
+            s[1]["composition"]: s[2]
+            for s in families["repro_privacy_epsilon"]["samples"]
+        }
+        assert eps["sequential"] == pytest.approx(0.2)
+        assert eps["parallel"] == pytest.approx(0.3)
+        assert eps["composed"] == pytest.approx(0.5)
+        [(_, _, entries)] = families["repro_privacy_ledger_entries"]["samples"]
+        assert entries == 2
+
+    def test_budget_account_gauges(self):
+        text = render_openmetrics(
+            _populated_recorder(), budget_store=_populated_store()
+        )
+        families = parse_openmetrics(text)
+        spent = {
+            (s[1]["tenant"], s[1]["principal"]): s[2]
+            for s in families["repro_budget_epsilon_spent"]["samples"]
+        }
+        assert spent[("acme", "default")] == pytest.approx(1.5)
+        assert spent[("globex", "alice")] == pytest.approx(2.0)
+        remaining = {
+            (s[1]["tenant"], s[1]["principal"]): s[2]
+            for s in families["repro_budget_epsilon_remaining"]["samples"]
+        }
+        assert remaining[("acme", "default")] == pytest.approx(3.5)
+        charges = {
+            (s[1]["tenant"], s[1]["principal"]): s[2]
+            for s in families["repro_budget_charges"]["samples"]
+        }
+        assert charges[("acme", "default")] == 2
+        assert "repro_budget_degraded_charges" in families
+
+    def test_snapshot_source_renders_identically(self):
+        rec = _populated_recorder()
+        assert render_openmetrics(rec.snapshot()) == render_openmetrics(rec)
+
+    def test_v1_raw_list_histograms_still_render(self):
+        snapshot = {
+            "counters": {},
+            "spans": [],
+            "histograms": {"legacy.metric": [1.0, 2.0, 3.0]},
+            "ledger": {"entries": []},
+        }
+        families = parse_openmetrics(render_openmetrics(snapshot))
+        samples = families["repro_legacy_metric"]["samples"]
+        assert next(s[2] for s in samples if s[0].endswith("_count")) == 3
+
+    def test_empty_recorder_renders_just_eof(self):
+        text = render_openmetrics(MetricsRecorder())
+        assert text == "# EOF\n"
+        assert parse_openmetrics(text) == {}
+
+
+class TestRenderMetricsJson:
+    def test_document_shape(self):
+        doc = render_metrics_json(
+            _populated_recorder(), budget_store=_populated_store()
+        )
+        assert doc["schema"] == "repro-metrics-export/1"
+        assert doc["counters"]["auction.runs"] == 3.0
+        assert doc["span_counts"] == {"exp_mech": 2, "price_set": 1}
+        hist = doc["histograms"]["greedy.residual_demand"]
+        assert hist["count"] == 6
+        assert {"p50", "p90", "p99", "relative_error"} <= set(hist)
+        assert doc["ledger"]["total_epsilon"] == pytest.approx(0.5)
+        tenants = {a["tenant"] for a in doc["budget_accounts"]}
+        assert tenants == {"acme", "globex"}
+
+    def test_json_able(self):
+        import json
+
+        json.dumps(render_metrics_json(_populated_recorder()))
+
+
+class TestParserStrictness:
+    def test_valid_minimal_document(self):
+        text = "# TYPE repro_x counter\nrepro_x_total 1\n# EOF\n"
+        families = parse_openmetrics(text)
+        assert families["repro_x"]["samples"] == [("repro_x_total", {}, 1.0)]
+
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("", "empty"),
+            ("# TYPE a counter\na_total 1\n", "missing terminal # EOF"),
+            ("# TYPE a counter\na_total 1\n# EOF\nextra 2\n", "after # EOF"),
+            ("a_total 1\n# EOF\n", "before any # TYPE"),
+            (
+                "# TYPE a counter\n# TYPE a counter\n# EOF\n",
+                "duplicate TYPE",
+            ),
+            (
+                "# TYPE a counter\na_total 1\na_total 1\n# EOF\n",
+                "duplicate series",
+            ),
+            ("# TYPE a counter\na 1\n# EOF\n", "does not belong"),
+            ("# TYPE a wibble\n# EOF\n", "unknown metric type"),
+            ("# HELP a text\n# EOF\n", "HELP before TYPE"),
+            ("# TYPE a counter\n\n# EOF\n", "blank line"),
+            (
+                '# TYPE a histogram\na_bucket{le="1",le="2"} 1\n# EOF\n',
+                "duplicate label",
+            ),
+            (
+                "# TYPE a histogram\na_bucket 1\n# EOF\n",
+                "missing 'le' label",
+            ),
+            (
+                '# TYPE a gauge\na{bad-label="x"} 1\n# EOF\n',
+                "malformed",
+            ),
+            ("# TYPE a counter\na_total abc\n# EOF\n", "malformed sample"),
+        ],
+    )
+    def test_violations_rejected(self, text, match):
+        with pytest.raises(ValidationError, match=match):
+            parse_openmetrics(text)
+
+    def test_non_cumulative_histogram_rejected(self):
+        text = (
+            "# TYPE a histogram\n"
+            'a_bucket{le="1"} 5\n'
+            'a_bucket{le="2"} 3\n'
+            'a_bucket{le="+Inf"} 5\n'
+            "a_sum 4\n"
+            "a_count 5\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValidationError, match="cumulative"):
+            parse_openmetrics(text)
+
+    def test_unsorted_histogram_le_rejected(self):
+        text = (
+            "# TYPE a histogram\n"
+            'a_bucket{le="2"} 1\n'
+            'a_bucket{le="1"} 2\n'
+            'a_bucket{le="+Inf"} 2\n'
+            "a_sum 3\n"
+            "a_count 2\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValidationError, match="ascending"):
+            parse_openmetrics(text)
+
+    def test_inf_bucket_count_mismatch_rejected(self):
+        text = (
+            "# TYPE a histogram\n"
+            'a_bucket{le="1"} 1\n'
+            'a_bucket{le="+Inf"} 1\n'
+            "a_sum 1\n"
+            "a_count 2\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValidationError, match="_count"):
+            parse_openmetrics(text)
+
+    def test_missing_terminal_inf_bucket_rejected(self):
+        text = (
+            "# TYPE a histogram\n"
+            'a_bucket{le="1"} 1\n'
+            "a_sum 1\n"
+            "a_count 1\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValidationError, match="\\+Inf"):
+            parse_openmetrics(text)
+
+    def test_escaped_label_values_parse(self):
+        text = '# TYPE a gauge\na{x="quo\\"te"} 1\n# EOF\n'
+        families = parse_openmetrics(text)
+        [(_, labels, _)] = families["a"]["samples"]
+        assert labels == {"x": 'quo\\"te'}
+
+    def test_inf_values_parse(self):
+        text = "# TYPE a gauge\na +Inf\n# EOF\n"
+        [(_, _, value)] = parse_openmetrics(text)["a"]["samples"]
+        assert value == math.inf

@@ -74,11 +74,16 @@ class TestMetricsRecorder:
         rec.count("greedy.iterations", 4)
         assert rec.counters == {"greedy.iterations": 5.0}
 
-    def test_histograms_keep_samples(self):
+    def test_histograms_sketch_samples(self):
         rec = MetricsRecorder()
         for v in (3.0, 1.0, 2.0):
             rec.observe("residual", v)
-        assert rec.histograms["residual"] == [3.0, 1.0, 2.0]
+        sketch = rec.histograms["residual"]
+        assert sketch.count == 3
+        assert sketch.min == 1.0
+        assert sketch.max == 3.0
+        assert sketch.sum == 6.0
+        assert sketch.quantile(0.5) == pytest.approx(2.0, rel=0.01)
 
     def test_aggregation_by_kind(self):
         rec = MetricsRecorder()
@@ -166,6 +171,89 @@ class TestSnapshotMerge:
                 pass
             sink.merge_snapshot(part.snapshot())
         assert [e.name for e in sink.spans] == ["first", "second"]
+
+
+class TestMergeSnapshotEdgeCases:
+    def test_snapshot_carries_the_v2_schema(self):
+        from repro.obs import METRICS_SCHEMA
+
+        assert METRICS_SCHEMA == "repro-metrics/2"
+        assert _populated_recorder().snapshot()["schema"] == METRICS_SCHEMA
+
+    def test_empty_snapshot_is_a_noop(self):
+        rec = _populated_recorder()
+        before = rec.snapshot()
+        rec.merge_snapshot({})
+        assert rec.snapshot() == before
+
+    def test_missing_keys_are_tolerated(self):
+        rec = MetricsRecorder()
+        rec.merge_snapshot({"counters": {"only.counter": 2.0}})
+        rec.merge_snapshot({"histograms": {}})
+        rec.merge_snapshot({"spans": []})
+        assert rec.counters == {"only.counter": 2.0}
+        assert rec.histograms == {}
+        assert rec.spans == []
+
+    def test_v1_raw_list_histograms_reobserve(self):
+        rec = MetricsRecorder()
+        rec.observe("residual", 10.0)
+        # A pre-sketch snapshot stored the raw sample list.
+        rec.merge_snapshot({"histograms": {"residual": [1.0, 2.0], "fresh": [5.0]}})
+        assert rec.histograms["residual"].count == 3
+        assert rec.histograms["residual"].min == 1.0
+        assert rec.histograms["fresh"].count == 1
+
+    def test_sketch_alpha_mismatch_rejected(self):
+        import pytest as _pytest
+
+        from repro.obs import QuantileSketch
+
+        rec = MetricsRecorder()
+        rec.observe("residual", 1.0)
+        odd = QuantileSketch(relative_error=0.005)
+        odd.observe(2.0)
+        with _pytest.raises(ValueError, match="relative_error"):
+            rec.merge_snapshot({"histograms": {"residual": odd.to_json_obj()}})
+
+    def test_absent_name_adopts_the_incoming_sketch_alpha(self):
+        from repro.obs import QuantileSketch
+
+        rec = MetricsRecorder()
+        odd = QuantileSketch(relative_error=0.005)
+        odd.observe(2.0)
+        rec.merge_snapshot({"histograms": {"fresh": odd.to_json_obj()}})
+        assert rec.histograms["fresh"].relative_error == 0.005
+
+    def test_four_way_process_merge_is_deterministic(self):
+        import numpy as np
+
+        rng = np.random.default_rng(17)
+        chunks = [rng.lognormal(0.0, 1.5, size=400) for _ in range(4)]
+
+        def merged(order):
+            sink = MetricsRecorder()
+            for i in order:
+                part = MetricsRecorder()
+                for v in chunks[i]:
+                    part.observe("residual", v)
+                part.count("runs")
+                sink.merge_snapshot(part.snapshot())
+            return sink
+
+        serial = MetricsRecorder()
+        for chunk in chunks:
+            for v in chunk:
+                serial.observe("residual", v)
+
+        forward, backward = merged([0, 1, 2, 3]), merged([3, 2, 1, 0])
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert (
+                forward.histograms["residual"].quantile(q)
+                == backward.histograms["residual"].quantile(q)
+                == serial.histograms["residual"].quantile(q)
+            )
+        assert forward.counters == {"runs": 4.0}
 
 
 class TestTrace:
