@@ -24,6 +24,14 @@ from repro.analysis.truthfulness import TruthfulnessReport, truthfulness_audit
 from repro.analysis.rationality import RationalityReport, rationality_audit
 from repro.analysis.dp_verification import DPReport, dp_audit, empirical_epsilon
 from repro.analysis.diagnostics import MarketDiagnostics, diagnose
+from repro.analysis.online import (
+    OfflineBenchmark,
+    OnlineCompetitiveReport,
+    analytic_competitive_bound,
+    competitive_audit,
+    offline_optimum,
+    online_empirical_epsilon,
+)
 
 __all__ = [
     "PaymentStats",
@@ -40,4 +48,10 @@ __all__ = [
     "empirical_epsilon",
     "MarketDiagnostics",
     "diagnose",
+    "OfflineBenchmark",
+    "OnlineCompetitiveReport",
+    "analytic_competitive_bound",
+    "competitive_audit",
+    "offline_optimum",
+    "online_empirical_epsilon",
 ]

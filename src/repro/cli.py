@@ -19,6 +19,12 @@ Observability (see docs/OBSERVABILITY.md)::
     python -m repro trace report trace.jsonl             # offline summary
     python -m repro figure5 --fast -vv                   # debug logging
 
+Streaming mechanisms (see docs/USAGE.md §Online)::
+
+    python -m repro online --budget 120 --stages 4       # streaming auction
+    python -m repro online --budget 120 --dp 0.9         # ε-DP calibration
+    python -m repro online --budget 120 --resume ck.jsonl  # kill-and-resume
+
 ``--trace``/``--metrics`` install a :class:`repro.obs.MetricsRecorder`
 around the experiment runs; instrumentation is outcome-invariant, so the
 printed series are bit-identical with and without it.
@@ -298,11 +304,192 @@ def _trace_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def _online_main(argv: Sequence[str]) -> int:
+    """``repro online`` — run a streaming mechanism over a seeded arrival stream.
+
+    Generates a Table-I-shaped market, streams it through the stage-based
+    online threshold mechanism (optionally the ε-DP variant), and prints
+    the committed outcome.  ``--resume PATH`` checkpoints stage-boundary
+    state into PATH and resumes bit-identically after a kill;
+    ``--fault-plan`` injects stage-indexed faults for chaos drills.
+    Exit codes: 0 ok, 2 invalid arguments, 3 injected fault (re-run with
+    the same ``--resume`` to recover), 4 privacy budget exhausted.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro online",
+        description=(
+            "Run the stage-based online (streaming) threshold mechanism "
+            "over a seeded worker arrival stream."
+        ),
+    )
+    parser.add_argument(
+        "--budget", type=float, required=True, metavar="B",
+        help="hard payment budget, never exceeded on any stream prefix",
+    )
+    parser.add_argument(
+        "--stages", type=int, default=4, metavar="S",
+        help="number of doubling-allocation acceptance stages (default 4)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=200, help="market size (default 200)"
+    )
+    parser.add_argument(
+        "--tasks", type=int, default=8, help="number of sensing tasks (default 8)"
+    )
+    parser.add_argument(
+        "--order",
+        choices=("uniform", "as_given", "adversarial", "bursty"),
+        default="uniform",
+        help="arrival order model (default uniform random permutation)",
+    )
+    parser.add_argument(
+        "--churn", type=float, default=0.0, metavar="P",
+        help="probability each worker drops out before arriving (default 0)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="master seed for the market, the arrivals, and the DP draws",
+    )
+    parser.add_argument(
+        "--dp", type=float, default=None, metavar="EPS",
+        help="use the ε-DP calibration variant with total budget EPS",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help=(
+            "checkpoint stage-boundary state into PATH; a rerun resumes "
+            "from the last durable stage, bit-identically"
+        ),
+    )
+    parser.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="inject stage-indexed faults, e.g. 'crash@2' (chaos testing)",
+    )
+    parser.add_argument(
+        "--privacy-limit", type=float, default=None, metavar="EPS",
+        help="admission-control the DP draws against a per-tenant ε limit",
+    )
+    parser.add_argument(
+        "--on-exhausted",
+        choices=("refuse", "degrade"),
+        default="refuse",
+        help=(
+            "policy when --privacy-limit is exhausted: 'refuse' exits 4, "
+            "'degrade' finishes with non-private calibration (default refuse)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    from contextlib import ExitStack, nullcontext
+
+    from repro.exceptions import BudgetExceededError
+    from repro.mechanisms.online import (
+        DPOnlineThresholdMechanism,
+        OnlineThresholdMechanism,
+        run_checkpointed,
+    )
+    from repro.privacy.budget import InMemoryBudgetStore, use_budget_store
+    from repro.resilience import FaultPlan
+    from repro.resilience.faults import FaultInjectedError
+    from repro.workloads import OnlineArrivalStream, generate_instance
+    from repro.workloads.settings import SimulationSetting
+
+    try:
+        setting = SimulationSetting(
+            name="online-cli",
+            epsilon=args.dp if args.dp is not None else 0.5,
+            c_min=1.0,
+            c_max=10.0,
+            bundle_size=(3, 5),
+            skill_range=(0.3, 0.95),
+            error_threshold_range=(0.3, 0.5),
+            n_workers=args.workers,
+            n_tasks=args.tasks,
+            price_range=(4.0, 10.0),
+            grid_step=0.5,
+        )
+        instance, _pool = generate_instance(setting, seed=args.seed)
+        stream = OnlineArrivalStream(
+            instance, order=args.order, seed=args.seed, churn=args.churn
+        )
+        if args.dp is not None:
+            mechanism = DPOnlineThresholdMechanism(
+                budget=args.budget, epsilon=args.dp, n_stages=args.stages
+            )
+        else:
+            mechanism = OnlineThresholdMechanism(
+                budget=args.budget, n_stages=args.stages
+            )
+        fault_plan = (
+            None if args.fault_plan is None else FaultPlan.parse(args.fault_plan)
+        )
+        budget_scope = (
+            nullcontext()
+            if args.privacy_limit is None
+            else use_budget_store(
+                InMemoryBudgetStore(limit=args.privacy_limit),
+                on_exhausted=args.on_exhausted,
+            )
+        )
+        with ExitStack() as stack:
+            stack.enter_context(budget_scope)
+            if args.resume is not None:
+                outcome = run_checkpointed(
+                    mechanism, stream, args.resume,
+                    seed=args.seed, fault_plan=fault_plan,
+                )
+            else:
+                outcome = mechanism.run(
+                    stream, seed=args.seed, fault_plan=fault_plan
+                )
+    except BudgetExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "hint: raise --privacy-limit or use --on-exhausted degrade to "
+            "finish with non-private calibration",
+            file=sys.stderr,
+        )
+        return 4
+    except FaultInjectedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if args.resume is not None:
+            print(
+                f"hint: stages completed so far are checkpointed in "
+                f"{args.resume}; re-run the same command to resume",
+                file=sys.stderr,
+            )
+        return 3
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"online[{mechanism.name}] workers={instance.n_workers} "
+        f"arrivals={stream.n_arrivals} order={args.order} stages={args.stages}"
+    )
+    print(
+        f"  winners={outcome.n_winners} spent={outcome.spent:.2f} "
+        f"budget={outcome.budget:g} value={outcome.value:.3f}"
+    )
+    thresholds = ", ".join(
+        "inf" if t == float("inf") else f"{t:.4f}" for t in outcome.thresholds
+    )
+    print(f"  thresholds=[{thresholds}]")
+    if args.dp is not None:
+        print(
+            f"  charged_epsilon={outcome.charged_epsilon:g} "
+            f"degraded={outcome.degraded}"
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "online":
+        return _online_main(argv[1:])
     args = _build_parser().parse_args(argv)
     configure_logging(args.verbose)
 

@@ -29,6 +29,13 @@ from repro.mechanisms.properties import (
     truthfulness_gap,
 )
 from repro.mechanisms.threshold_auction import ThresholdPaymentAuction
+from repro.mechanisms.online import (
+    DPOnlineThresholdMechanism,
+    OnlineOutcome,
+    OnlineState,
+    OnlineThresholdMechanism,
+    run_checkpointed,
+)
 
 __all__ = [
     "DPHSRCAuction",
@@ -43,4 +50,9 @@ __all__ = [
     "truthfulness_gap",
     "payment_sensitivity",
     "theorem6_payment_bound",
+    "OnlineThresholdMechanism",
+    "DPOnlineThresholdMechanism",
+    "OnlineOutcome",
+    "OnlineState",
+    "run_checkpointed",
 ]

@@ -89,6 +89,7 @@ METRICS_SCHEMA = "repro-metrics/2"
 #: - ``sweep_point`` — one payment-sweep evaluation point
 #: - ``experiment``  — one CLI experiment invocation
 #: - ``retry``       — one resilience backoff-and-retry of a failed unit
+#: - ``online_stage`` — one stage of an online threshold mechanism
 SPAN_KINDS = (
     "price_set",
     "greedy_group",
@@ -98,6 +99,7 @@ SPAN_KINDS = (
     "sweep_point",
     "experiment",
     "retry",
+    "online_stage",
 )
 
 

@@ -22,6 +22,7 @@ from repro.workloads.generator import (
     generate_worker_population,
     random_bid_perturbation,
 )
+from repro.workloads.streams import ARRIVAL_ORDERS, OnlineArrivalStream, static_gains
 
 __all__ = [
     "SimulationSetting",
@@ -36,4 +37,7 @@ __all__ = [
     "generate_geo_market",
     "generate_worker_population",
     "random_bid_perturbation",
+    "ARRIVAL_ORDERS",
+    "OnlineArrivalStream",
+    "static_gains",
 ]

@@ -160,6 +160,42 @@ class TestCompareMain:
         assert bench.compare_main([str(a), str(b)]) == 2
         assert "no matching entries" in capsys.readouterr().err
 
+    def test_new_only_scenario_in_same_suite_exits_zero(self, tmp_path, capsys):
+        """A freshly landed scenario has no baseline — that is not a failure."""
+        old = _write(tmp_path, "old.json", _doc([_entry()]))
+        new = _write(
+            tmp_path,
+            "new.json",
+            _doc([_entry(), _entry(name="online_throughput", n_instances=1)]),
+        )
+        assert bench.compare_main([str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "no timing regressed" in out
+
+    def test_all_new_entries_in_same_suite_exit_zero_with_note(
+        self, tmp_path, capsys
+    ):
+        """First landing of a suite's only scenario: nothing to compare yet."""
+        old = _write(tmp_path, "old.json", _doc([_entry()]))
+        new = _write(
+            tmp_path,
+            "new.json",
+            _doc([_entry(name="online_throughput", n_instances=1)]),
+        )
+        assert bench.compare_main([str(old), str(new)]) == 0
+        assert "nothing to compare yet" in capsys.readouterr().out
+
+    def test_all_new_entries_still_fail_across_suites(self, tmp_path, capsys):
+        """The new-only tolerance must not mask comparing the wrong files."""
+        a = _write(tmp_path, "a.json", _doc([_entry()]))
+        b = _write(
+            tmp_path,
+            "b.json",
+            _doc([_entry(name="online_throughput")], suite="greedy"),
+        )
+        assert bench.compare_main([str(a), str(b)]) == 2
+        assert "no matching entries" in capsys.readouterr().err
+
     def test_negative_threshold_exits_two(self, tmp_path, capsys):
         path = _write(tmp_path, "a.json", _doc([_entry()]))
         assert (
