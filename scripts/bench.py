@@ -799,6 +799,75 @@ def bench_online_throughput(smoke: bool, trace: MetricsRecorder) -> list[dict]:
     return [entry]
 
 
+def bench_campaign_throughput(smoke: bool, trace: MetricsRecorder) -> list[dict]:
+    """Campaign grid orchestration: fresh run vs checkpoint replay.
+
+    Runs the 4-cell ``smoke`` preset campaign end-to-end in a scratch
+    directory, then re-runs the same directory (every cell replays from
+    the checkpoint — the resume hot path), and asserts the replayed
+    report is byte-identical to the fresh one.  ``replay_speedup``
+    (fresh/replay seconds) is the hardware-independent signal that
+    resume is actually skipping cell work; ``cells_per_second`` is the
+    headline orchestration cost.
+    """
+    import shutil
+    import tempfile
+
+    from repro.campaign import CampaignRunner, build_preset, build_report, report_json
+
+    spec = build_preset("smoke", fast=True)
+    repeats = 2 if smoke else 3
+
+    with tempfile.TemporaryDirectory() as scratch:
+        base = Path(scratch)
+
+        def fresh():
+            directory = base / "fresh"
+            shutil.rmtree(directory, ignore_errors=True)
+            return CampaignRunner(spec, directory).run()
+
+        fresh_s, fresh_payloads = best_of(fresh, repeats)
+        fresh_report = report_json(build_report(spec, fresh_payloads))
+
+        # Replay: same directory, fully-checkpointed — no cell re-runs.
+        replay_dir = base / "replay"
+        CampaignRunner(spec, replay_dir).run()
+        replay_s, replay_payloads = best_of(
+            lambda: CampaignRunner(spec, replay_dir).run(), repeats
+        )
+        replay_report = report_json(build_report(spec, replay_payloads))
+    if replay_report != fresh_report:
+        raise AssertionError("replayed campaign report diverged from fresh run")
+
+    recorder = MetricsRecorder()
+    with use_recorder(recorder):
+        with tempfile.TemporaryDirectory() as scratch:
+            obs_payloads = CampaignRunner(spec, Path(scratch) / "obs").run()
+    if report_json(build_report(spec, obs_payloads)) != fresh_report:
+        raise AssertionError("campaign run diverged with a recorder installed")
+    trace.merge(recorder)
+
+    entry = {
+        "name": "campaign_throughput",
+        "preset": "smoke",
+        "n_cells": spec.n_cells,
+        "seed": spec.seed,
+        "repeats": repeats,
+        "fresh_seconds": fresh_s,
+        "cells_per_second": spec.n_cells / fresh_s,
+        "replay_seconds": replay_s,
+        "replay_speedup": fresh_s / replay_s,
+        "match": True,
+        "metrics": recorder_metrics(recorder),
+    }
+    print(
+        f"  {'campaign_throughput':>20} cells={spec.n_cells} "
+        f"fresh={fresh_s:6.2f}s replay={replay_s * 1e3:6.1f}ms "
+        f"speedup={fresh_s / replay_s:5.1f}x"
+    )
+    return [entry]
+
+
 def environment() -> dict:
     return {
         "python": platform.python_version(),
@@ -1123,7 +1192,8 @@ def main(argv: list[str] | None = None) -> int:
         + bench_multi_mechanism(args.smoke, args.repeats, trace)
         + bench_batch_runner(args.smoke, trace)
         + bench_ledger_throughput(args.smoke, trace)
-        + bench_online_throughput(args.smoke, trace),
+        + bench_online_throughput(args.smoke, trace)
+        + bench_campaign_throughput(args.smoke, trace),
     }
     auction_path = args.out_dir / "BENCH_auction.json"
     auction_path.write_text(json.dumps(auction_doc, indent=2) + "\n")

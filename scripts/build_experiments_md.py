@@ -1,181 +1,26 @@
 #!/usr/bin/env python
-"""Compose EXPERIMENTS.md from the reference-run outputs in results/.
+"""Compose EXPERIMENTS.md from the experiment registry and results/.
 
-Each section pairs the paper's reported numbers/shape with our measured
-series (embedded verbatim from ``results/<name>.txt``) and a verdict.
-Run after ``bash scripts/run_reference.sh``::
+Sections are rendered from :data:`repro.experiments.REGISTRY` (ordered
+by ``doc_rank``), pairing each spec's commentary — the paper's reported
+numbers/shape — with our measured series (embedded verbatim from
+``results/<name>.txt``) and its wall-clock.  Run after
+``bash scripts/run_reference.sh``::
 
-    python scripts/build_experiments_md.py
+    PYTHONPATH=src python scripts/build_experiments_md.py
+
+``tests/test_docs_current.py`` asserts the committed EXPERIMENTS.md
+matches this script's output, so registry edits cannot silently leave
+the doc stale.
 """
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
 RESULTS = REPO / "results"
-
-#: (experiment, paper reference, commentary) — commentary states the
-#: paper's numbers and how to read ours against them.
-SECTIONS: list[tuple[str, str, str]] = [
-    (
-        "table1",
-        "Table I (simulation settings)",
-        "The paper's settings, reproduced as configuration. Identity by\n"
-        "construction — this section exists to pin the sweep axes used below.",
-    ),
-    (
-        "figure1",
-        "Figure 1 — total payment vs N (setting I)",
-        "Paper: all three curves fall as workers are added; at every N the\n"
-        "ordering is Optimal < DP-hSRC < Baseline, with DP-hSRC tracking the\n"
-        "optimal closely (~1200-1900 for optimal, ~2000-2300 for baseline over\n"
-        "N=80-140) and the baseline 40-70% above optimal.\n\n"
-        "Ours: same ordering at every sweep point and the same downward\n"
-        "drift; DP-hSRC sits ~15-25% above optimal while the baseline sits\n"
-        "at roughly 1.4-2x optimal. Absolute levels differ from the paper's plot\n"
-        "(different RNG; the paper never prints its exact values); the\n"
-        "relative story is identical.  The optimal benchmark runs with a\n"
-        "30 s-per-solve cap and an 8-solve pruning budget, so on pathological\n"
-        "instances its value is an upper bound on R_OPT — which only makes\n"
-        "the reported DP-hSRC/optimal gap conservative.",
-    ),
-    (
-        "figure2",
-        "Figure 2 — total payment vs K (setting II)",
-        "Paper: payments grow with the task load, ordering Optimal < DP-hSRC <\n"
-        "Baseline throughout (optimal ~450-1000, baseline ~800-1400 over\n"
-        "K=20-50).\n\n"
-        "Ours: same monotone growth and the same ordering at every K.",
-    ),
-    (
-        "figure3",
-        "Figure 3 — total payment vs N at scale (setting III)",
-        "Paper: optimal is computationally infeasible at N=800-1400, K=200, so\n"
-        "only DP-hSRC (~2700-3000, drifting down) and Baseline (~3700-4300)\n"
-        "are shown; the gap is roughly 30-45%.\n\n"
-        "Ours: optimal likewise omitted; DP-hSRC beats the baseline by a\n"
-        "similar ~30-40% margin at every sweep point.  Both curves are\n"
-        "roughly flat with instance-to-instance noise — the paper's are\n"
-        "likewise nonsmooth (its own caption attributes this to the random\n"
-        "problem instances).  Our absolute payments are lower than the\n"
-        "paper's (roughly 1550-1650 vs their 2700-3000 for DP-hSRC) —\n"
-        "consistent with greedy tie-breaking and instance-draw differences,\n"
-        "not a shape difference.",
-    ),
-    (
-        "figure4",
-        "Figure 4 — total payment vs K at scale (setting IV)",
-        "Paper: payments rise with K; DP-hSRC (~2300-3900) below Baseline\n"
-        "(~2900-4000) everywhere.\n\n"
-        "Ours: same rising curves, DP-hSRC below baseline at every K.",
-    ),
-    (
-        "table2",
-        "Table II — execution time, DP-hSRC vs optimal (settings I & II)",
-        "Paper (GUROBI, 2016): DP-hSRC flat at 0.15-0.17 s for every N and K;\n"
-        "optimal grows from 6.5 s (N=80) to 6139 s (N=136) and from 13 s\n"
-        "(K=20) to 2661 s (K=48).\n\n"
-        "Ours (HiGHS + bound pruning, per-solve cap 60 s): DP-hSRC flat at\n"
-        "~0.05-0.2 s; the optimal computation is one-to-three orders of\n"
-        "magnitude slower and spikes exactly where the MILPs get hard — the\n"
-        "same asymmetry, with our pruning shaving the constant. Rows where a\n"
-        "solve hit its cap are flagged in the notes (the incumbent is then an\n"
-        "upper bound).",
-    ),
-    (
-        "figure5",
-        "Figure 5 — payment vs privacy-leakage trade-off over ε",
-        "Paper: average payment falls from ~2650 to ~2300 as ε grows from 0.25\n"
-        "to 1000 while the KL privacy leakage rises from ~0 to ~2.5, with the\n"
-        "knee around ε≈45.\n\n"
-        "Ours: the same two monotone trends on a setting-III instance —\n"
-        "payment falls and the random-neighbor KL leakage rises strictly\n"
-        "with ε, ≈ 0 until ε reaches the tens and climbing from there.  Our\n"
-        "magnitudes are smaller than the paper's ~2.5 because a random\n"
-        "single-bid change rarely moves the greedy winner sets at N=1000;\n"
-        "the adversarial column (pricing the likeliest winner out of the\n"
-        "market, which does move the allocation) shows how much more a\n"
-        "worst-case neighbor leaks at moderate ε.",
-    ),
-    (
-        "ablation_greedy",
-        "Ablation — adaptive truncated-gain greedy vs static ordering",
-        "DESIGN.md §4 design choice. The adaptive rule (Algorithm 1) lands\n"
-        "within ~8% of the certified optimum; the baseline's static ordering\n"
-        "pays ~40% extra — the entire Figures 1-4 gap in microcosm.",
-    ),
-    (
-        "ablation_grid",
-        "Ablation — price-grid resolution",
-        "Theorem 6 predicts only logarithmic sensitivity to |P|: measured\n"
-        "expected payment moves by well under 1% while |P| spans 12 → 473.",
-    ),
-    (
-        "ablation_sensitivity",
-        "Ablation — exponential-mechanism sensitivity denominator",
-        "The paper's Δu = N·c_max is what the proof needs, and this ablation\n"
-        "shows how conservative it is on random neighbors: at the nominal\n"
-        "denominator the measured ε is ~100× below budget, and violations only\n"
-        "appear once the denominator is shrunk by about that factor.",
-    ),
-    (
-        "ablation_solver",
-        "Ablation — exact backends (HiGHS MILP vs own branch-and-bound)",
-        "The two GUROBI substitutes agree on the optimum everywhere; HiGHS is\n"
-        "10-100× faster, which is why it is the default and the self-contained\n"
-        "branch-and-bound is the cross-check.",
-    ),
-    (
-        "accuracy",
-        "Extension — end-to-end label accuracy vs announced targets",
-        "Closes the loop the paper leaves implicit: winner sets satisfy 100%\n"
-        "of error-bound constraints and weighted aggregation lands ~99%\n"
-        "accuracy vs the ~85% floor — while majority voting collapses to\n"
-        "chance because Table I's θ∈[0.1,0.9] includes anti-correlated\n"
-        "workers whose votes must be weighted negatively (Lemma 1's point).",
-    ),
-    (
-        "price_of_privacy",
-        "Extension — the price of privacy",
-        "The non-private threshold-payment auction pays ~10-25% less than\n"
-        "DP-hSRC but its payment vector is a deterministic function of the\n"
-        "bids: a single bid change is perfectly distinguishable (empirical\n"
-        "ε = ∞ on most trials) where DP-hSRC is bounded by ε = 0.1.",
-    ),
-    (
-        "dp_variants",
-        "Extension — exponential mechanism vs permute-and-flip",
-        "A modern drop-in price stage (NeurIPS 2020) with the same ε-DP\n"
-        "guarantee. At Table-I scales the distributions are near-uniform, so\n"
-        "the improvement is small but never negative beyond Monte-Carlo noise\n"
-        "— consistent with the dominance theorem.",
-    ),
-    (
-        "approximation",
-        "Extension — measured approximation ratio vs the Theorem 6 envelope",
-        "DP-hSRC's measured E[R]/R_OPT sits around 1.15-1.27 (baseline:\n"
-        "1.7-1.9); the proven Theorem 6 envelope is ~4500× — three-plus orders\n"
-        "of magnitude of slack between worst-case theory and practice, which\n"
-        "is exactly why the paper also simulates.",
-    ),
-    (
-        "geo_workload",
-        "Extension — route-structured vs uniform bundles",
-        "On the paper's own motivating geotagging workload (bundles = routes\n"
-        "on a street grid), DP-hSRC's payment is nearly geometry-invariant\n"
-        "and still ~2× below the baseline — the uniform-bundle evaluation in\n"
-        "the paper does not flatter the mechanism.",
-    ),
-    (
-        "budget_schedule",
-        "Extension — campaign schedules under a total privacy budget",
-        "Combines the Figure 5 payment(ε) curve with composition accounting:\n"
-        "splitting a total ε over more rounds raises the per-round payment,\n"
-        "and advanced composition's √k scaling starts beating basic splitting\n"
-        "at around fifty rounds.",
-    ),
-]
 
 HEADER = """# EXPERIMENTS — paper vs. reproduction
 
@@ -193,22 +38,29 @@ wins, by roughly what factor, where the curves bend.
 """
 
 
-def main() -> int:
+def build_text() -> str:
+    from repro.experiments import REGISTRY
+
     parts = [HEADER]
-    for name, title, commentary in SECTIONS:
-        parts.append(f"\n---\n\n## {title}\n")
-        parts.append(commentary + "\n")
-        txt = RESULTS / f"{name}.txt"
+    for spec in sorted(REGISTRY, key=lambda s: s.doc_rank):
+        parts.append(f"\n---\n\n## {spec.artifact}\n")
+        parts.append(spec.commentary + "\n")
+        txt = RESULTS / f"{spec.name}.txt"
         if txt.exists() and txt.read_text().strip():
-            wall = (RESULTS / f"{name}.time")
+            wall = RESULTS / f"{spec.name}.time"
             wall_text = wall.read_text().strip() if wall.exists() else "n/a"
             parts.append(f"Measured (reference run, {wall_text}):\n")
             parts.append("```\n" + txt.read_text().rstrip() + "\n```\n")
         else:
             parts.append("_Reference output missing — rerun "
-                         f"`python -m repro {name}`._\n")
+                         f"`python -m repro {spec.name}`._\n")
+    return "\n".join(parts)
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
     target = REPO / "EXPERIMENTS.md"
-    target.write_text("\n".join(parts), encoding="utf-8")
+    target.write_text(build_text(), encoding="utf-8")
     print(f"wrote {target}")
     return 0
 

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate the golden experiment pins in tests/golden/experiments/.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regen_golden.py            # all experiments
+    PYTHONPATH=src python scripts/regen_golden.py figure3    # one experiment
+
+Each golden stores the experiment's fast-mode (seed 0) output twice: the
+structured JSON document and the rendered table, so both the data and
+its presentation are pinned.  Only regenerate after an *intentional*
+output change — tests/test_experiments_golden.py documents which columns
+are exempt from bit-exactness (wall-clock and time-capped solves).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+GOLDEN_DIR = REPO / "tests" / "golden" / "experiments"
+
+
+def main(argv: list[str]) -> int:
+    from repro.cli import run_experiment
+    from repro.experiments import EXPERIMENTS
+    from repro.experiments.export import to_json
+
+    names = argv or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"error: unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        result = run_experiment(name, fast=True, seed=0)
+        doc = {"json": json.loads(to_json(result)), "table": result.to_table()}
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,72 @@
+"""Shared, lazily-created process pools for sweep fan-out.
+
+:func:`repro.experiments.runner.payment_sweep` used to create (and tear
+down) a fresh :class:`~concurrent.futures.ProcessPoolExecutor` on every
+call — for a campaign that runs many sweeps, that is one interpreter
+fork + import storm per figure.  The campaign layer hoists the pool
+here: one executor per worker count, created on first use, reused by
+every subsequent sweep, and shut down once at interpreter exit.
+
+Worker processes configure their logging exactly once, in the pool
+initializer, instead of implicitly on every submitted task — the
+"logging setup re-created per call" half of the same problem.
+
+The pool is an optimization only: tasks submitted to it must stay pure
+functions of their arguments (``_sweep_point_safe`` is), so reusing
+workers can never change numbers — the serial/process parity suites pin
+that.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["shared_process_pool", "shutdown_shared_pools"]
+
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+_ATEXIT_REGISTERED = False
+
+
+def _worker_init() -> None:
+    """One-time per-worker setup: quiet library logging.
+
+    Pool workers inherit no handlers on spawn; attaching the library's
+    :class:`logging.NullHandler` once here replaces the per-task setup
+    cost and keeps worker stderr clean regardless of start method.
+    """
+    logging.getLogger("repro").addHandler(logging.NullHandler())
+
+
+def shared_process_pool(max_workers: int) -> ProcessPoolExecutor:
+    """The shared pool for ``max_workers``-wide fan-out (created lazily).
+
+    A pool whose workers died (e.g. a hard kill during a chaos drill,
+    surfacing as :class:`~concurrent.futures.process.BrokenProcessPool`)
+    is discarded and replaced on the next call, so one broken sweep does
+    not poison every later one.
+    """
+    global _ATEXIT_REGISTERED
+    width = int(max_workers)
+    if width < 2:
+        raise ValueError(f"shared_process_pool needs max_workers >= 2, got {width}")
+    pool = _POOLS.get(width)
+    if pool is not None and getattr(pool, "_broken", False):
+        pool.shutdown(wait=False, cancel_futures=True)
+        pool = None
+        del _POOLS[width]
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=width, initializer=_worker_init)
+        _POOLS[width] = pool
+        if not _ATEXIT_REGISTERED:
+            atexit.register(shutdown_shared_pools)
+            _ATEXIT_REGISTERED = True
+    return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Shut down every shared pool (idempotent; runs at interpreter exit)."""
+    while _POOLS:
+        _width, pool = _POOLS.popitem()
+        pool.shutdown(wait=True, cancel_futures=True)

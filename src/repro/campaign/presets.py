@@ -1,0 +1,125 @@
+"""Ready-made campaigns for the CLI and CI.
+
+``smoke``
+    Four cheap cells — two registry experiments plus the two zoo kinds —
+    sized for CI's kill-and-resume drill (seconds per cell).
+``paper``
+    Every experiment in the registry as one cell each: the whole paper
+    reproduction as a single resumable grid (``--fast`` for the CI-sized
+    variant).
+``zoo``
+    The extensibility showcase: chance-constrained uncertain-task cells
+    at two confidence levels, the online mechanism across arrival
+    orderings (bursty/churn included), and a custom-scale payment-figure
+    cell — (mechanism × workload × scale) points no experiment module
+    covers.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.spec import CampaignSpec, CellSpec
+from repro.exceptions import ValidationError
+
+__all__ = ["PRESETS", "build_preset", "smoke_campaign", "paper_campaign", "zoo_campaign"]
+
+
+def smoke_campaign(*, seed: int = 0, fast: bool = True) -> CampaignSpec:
+    """The 4-cell CI campaign (one cell per built-in kind family)."""
+    return CampaignSpec(
+        name="smoke",
+        seed=seed,
+        fast=fast,
+        cells=(
+            CellSpec(name="table1", kind="experiment"),
+            CellSpec(name="ablation_grid", kind="experiment"),
+            CellSpec(
+                name="uncertain",
+                kind="uncertain_tasks",
+                knobs={"rates": [1.0, 0.75], "n_trials": 200},
+            ),
+            CellSpec(
+                name="online_bursty",
+                kind="online_stream",
+                knobs={"orders": ["bursty"], "churns": [0.0, 0.2]},
+            ),
+        ),
+    )
+
+
+def paper_campaign(*, seed: int = 0, fast: bool = False) -> CampaignSpec:
+    """Every registry experiment as one resumable campaign cell."""
+    from repro.experiments import EXPERIMENTS
+
+    return CampaignSpec(
+        name="paper",
+        seed=seed,
+        fast=fast,
+        cells=tuple(CellSpec(name=name, kind="experiment") for name in EXPERIMENTS),
+    )
+
+
+def zoo_campaign(*, seed: int = 0, fast: bool = True) -> CampaignSpec:
+    """New workload cells beyond the paper's evaluation grid."""
+    return CampaignSpec(
+        name="zoo",
+        seed=seed,
+        fast=fast,
+        cells=(
+            CellSpec(
+                name="uncertain_q90",
+                kind="uncertain_tasks",
+                knobs={"confidence": 0.9},
+            ),
+            CellSpec(
+                name="uncertain_q99",
+                kind="uncertain_tasks",
+                knobs={"confidence": 0.99},
+            ),
+            CellSpec(
+                name="online_orders",
+                kind="online_stream",
+                knobs={
+                    "orders": ["uniform", "as_given", "adversarial", "bursty"],
+                    "churns": [0.0],
+                },
+            ),
+            CellSpec(
+                name="online_churn",
+                kind="online_stream",
+                knobs={"orders": ["bursty"], "churns": [0.0, 0.1, 0.3]},
+            ),
+            CellSpec(
+                name="payment_small",
+                kind="payment_figure",
+                knobs={
+                    "setting": "I",
+                    "axis": "workers",
+                    "values": [60, 80],
+                    "include_optimal": False,
+                    "n_price_samples": 1000,
+                },
+            ),
+            CellSpec(name="geo_workload", kind="experiment"),
+        ),
+    )
+
+
+#: Preset name -> builder.
+PRESETS = {
+    "smoke": smoke_campaign,
+    "paper": paper_campaign,
+    "zoo": zoo_campaign,
+}
+
+
+def build_preset(name: str, *, seed: int = 0, fast: bool | None = None) -> CampaignSpec:
+    """Instantiate a preset; ``fast=None`` keeps the preset's default."""
+    try:
+        builder = PRESETS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown preset {name!r}; available: {', '.join(sorted(PRESETS))}"
+        ) from None
+    if fast is None:
+        return builder(seed=seed)
+    return builder(seed=seed, fast=fast)

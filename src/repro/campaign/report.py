@@ -1,0 +1,133 @@
+"""Cross-cell campaign reports (schema ``repro-campaign/1``).
+
+A report is built purely from the spec + the per-cell result payloads
+(fresh or checkpoint-replayed — byte-equivalent either way) and contains
+no wall-clock or host data, so the report of a killed-and-resumed
+campaign is **byte-for-byte identical** to an uninterrupted run's — the
+acceptance contract CI's ``campaign-smoke`` drill asserts.
+
+Three layers:
+
+* a summary table (cell, kind, tenant, status, row count, title);
+* comparison sections grouping *done* cells that share a header set —
+  the cross-cell view of a grid sweeping one knob across cells;
+* the full per-cell result tables, notes included.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.campaign.artifacts import decode_result
+from repro.campaign.spec import CampaignSpec
+from repro.utils.tables import render_table
+
+__all__ = [
+    "CAMPAIGN_REPORT_SCHEMA",
+    "build_report",
+    "render_report",
+    "report_json",
+]
+
+#: Schema identifier of the JSON report document.
+CAMPAIGN_REPORT_SCHEMA = "repro-campaign/1"
+
+
+def build_report(spec: CampaignSpec, payloads: Mapping[str, Mapping]) -> dict:
+    """Assemble the report document from cell result payloads.
+
+    ``payloads`` maps cell name to :func:`~repro.campaign.artifacts.
+    encode_result` output (as returned by
+    :meth:`~repro.campaign.runner.CampaignRunner.run` /
+    :meth:`~repro.campaign.runner.CampaignRunner.payloads`); missing
+    cells are reported as ``pending``.
+    """
+    cells = []
+    for cell in spec.cells:
+        payload = payloads.get(cell.name)
+        cells.append(
+            {
+                "name": cell.name,
+                "kind": cell.kind,
+                "tenant": cell.resolved_tenant,
+                "status": "pending" if payload is None else "done",
+                "result": None if payload is None else dict(payload),
+            }
+        )
+    n_done = sum(1 for c in cells if c["status"] == "done")
+    return {
+        "schema": CAMPAIGN_REPORT_SCHEMA,
+        "campaign": spec.name,
+        "seed": spec.seed,
+        "fast": spec.fast,
+        "n_cells": spec.n_cells,
+        "n_done": n_done,
+        "cells": cells,
+    }
+
+
+def report_json(doc: Mapping) -> str:
+    """Canonical JSON text of a report document (sorted keys, trailing \\n)."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def _summary_table(doc: Mapping) -> str:
+    rows = []
+    for cell in doc["cells"]:
+        result = cell["result"]
+        rows.append(
+            (
+                cell["name"],
+                cell["kind"],
+                cell["tenant"],
+                cell["status"],
+                0 if result is None else len(result["rows"]),
+                "-" if result is None else result["title"],
+            )
+        )
+    return render_table(
+        ["cell", "kind", "tenant", "status", "rows", "title"],
+        rows,
+        title=(
+            f"Campaign {doc['campaign']} — {doc['n_done']}/{doc['n_cells']} cells "
+            f"done (seed {doc['seed']}, fast={doc['fast']})"
+        ),
+    )
+
+
+def _comparison_sections(doc: Mapping) -> list[str]:
+    """One combined table per group of done cells sharing a header set."""
+    groups: dict[tuple[str, ...], list[Mapping]] = {}
+    for cell in doc["cells"]:
+        if cell["result"] is None:
+            continue
+        groups.setdefault(tuple(cell["result"]["headers"]), []).append(cell)
+    sections = []
+    for headers, members in groups.items():
+        if len(members) < 2:
+            continue
+        rows = []
+        for cell in members:
+            result = decode_result(cell["result"])
+            rows.extend((cell["name"], *row) for row in result.rows)
+        sections.append(
+            render_table(
+                ["cell", *headers],
+                rows,
+                title=f"Cross-cell comparison ({len(members)} cells share these columns)",
+            )
+        )
+    return sections
+
+
+def render_report(doc: Mapping) -> str:
+    """The full ASCII report: summary, comparisons, per-cell tables."""
+    parts = [_summary_table(doc)]
+    parts.extend(_comparison_sections(doc))
+    for cell in doc["cells"]:
+        if cell["result"] is None:
+            parts.append(f"[{cell['name']}] pending — run or resume the campaign")
+            continue
+        parts.append(decode_result(cell["result"]).to_table())
+    return "\n\n".join(parts)

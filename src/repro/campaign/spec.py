@@ -1,0 +1,204 @@
+"""Declarative campaign specifications (schema ``repro-campaign-spec/1``).
+
+A :class:`CampaignSpec` is pure data: a named tuple of
+:class:`CellSpec`\\ s plus the campaign-wide seed and fast flag.  Specs
+round-trip losslessly through JSON (:meth:`CampaignSpec.to_payload` /
+:meth:`CampaignSpec.from_payload`), which is how the runner pins the
+spec into ``<dir>/campaign.json`` so a resume can never silently run a
+different grid, and how users hand-author campaigns for
+``repro campaign run --spec``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.exceptions import ValidationError
+
+__all__ = ["CAMPAIGN_SPEC_SCHEMA", "CellSpec", "CampaignSpec"]
+
+#: Schema identifier written into every serialized spec.
+CAMPAIGN_SPEC_SCHEMA = "repro-campaign-spec/1"
+
+#: Cell/campaign names double as directory names, so keep them shell- and
+#: filesystem-safe on every platform.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _require_name(value: str, label: str) -> str:
+    if not isinstance(value, str) or not _NAME_RE.match(value):
+        raise ValidationError(
+            f"{label} must match {_NAME_RE.pattern} (got {value!r}); it is "
+            "used as a directory name"
+        )
+    return value
+
+
+def _require_json_knobs(knobs: Mapping, label: str) -> dict:
+    try:
+        canonical = json.loads(json.dumps(dict(knobs), sort_keys=True))
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{label} knobs must be JSON-serializable: {exc}") from exc
+    return canonical
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of a campaign grid.
+
+    Attributes
+    ----------
+    name:
+        Unique within the campaign; doubles as the artifact folder name
+        (``<dir>/cells/<name>/``) and the default budget tenant.
+    kind:
+        A cell kind from the typed registry
+        (:data:`repro.campaign.cells.CELL_KINDS`), e.g. ``"experiment"``
+        or ``"payment_figure"``.
+    knobs:
+        Kind-specific parameters; must be JSON-serializable (they are
+        pinned into ``campaign.json`` and the checkpoint context).
+    tenant:
+        Budget tenant the cell's ε draws charge against under an ambient
+        :mod:`repro.privacy.budget` store; defaults to ``name``.
+    """
+
+    name: str
+    kind: str
+    knobs: Mapping[str, object] = field(default_factory=dict)
+    tenant: str | None = None
+
+    def __post_init__(self) -> None:
+        _require_name(self.name, "cell name")
+        if not isinstance(self.kind, str) or not self.kind:
+            raise ValidationError(f"cell {self.name!r}: kind must be a non-empty string")
+        object.__setattr__(
+            self, "knobs", _require_json_knobs(self.knobs, f"cell {self.name!r}")
+        )
+        if self.tenant is not None and (
+            not isinstance(self.tenant, str) or not self.tenant
+        ):
+            raise ValidationError(f"cell {self.name!r}: tenant must be a non-empty string")
+
+    @property
+    def resolved_tenant(self) -> str:
+        """The budget tenant this cell charges (defaults to the cell name)."""
+        return self.name if self.tenant is None else self.tenant
+
+    def to_payload(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_payload`)."""
+        payload: dict = {"name": self.name, "kind": self.kind, "knobs": dict(self.knobs)}
+        if self.tenant is not None:
+            payload["tenant"] = self.tenant
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "CellSpec":
+        """Rebuild a cell from :meth:`to_payload` output."""
+        unknown = set(payload) - {"name", "kind", "knobs", "tenant"}
+        if unknown:
+            raise ValidationError(f"cell payload has unknown keys: {sorted(unknown)}")
+        return cls(
+            name=payload.get("name", ""),
+            kind=payload.get("kind", ""),
+            knobs=payload.get("knobs", {}),
+            tenant=payload.get("tenant"),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A full campaign: named grid of cells + campaign-wide run knobs.
+
+    Attributes
+    ----------
+    name:
+        Campaign identity (pinned into the checkpoint header).
+    cells:
+        The grid, in execution order.  Cell names must be unique.
+    seed:
+        Master seed.  Cells of kind ``experiment`` run with this seed by
+        default (knob ``seed`` overrides per cell), so a campaign cell
+        reproduces ``repro <name> --seed`` exactly.
+    fast:
+        Campaign-wide fast flag, forwarded to every cell (knob ``fast``
+        overrides per cell).
+    """
+
+    name: str
+    cells: tuple[CellSpec, ...]
+    seed: int = 0
+    fast: bool = False
+
+    def __post_init__(self) -> None:
+        _require_name(self.name, "campaign name")
+        cells = tuple(self.cells)
+        if not cells:
+            raise ValidationError("a campaign needs at least one cell")
+        names = [cell.name for cell in cells]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ValidationError(f"duplicate cell names: {duplicates}")
+        object.__setattr__(self, "cells", cells)
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "fast", bool(self.fast))
+
+    @property
+    def n_cells(self) -> int:
+        """Number of cells in the grid."""
+        return len(self.cells)
+
+    def cell(self, name: str) -> CellSpec:
+        """Look up one cell by name."""
+        for cell in self.cells:
+            if cell.name == name:
+                return cell
+        raise ValidationError(
+            f"campaign {self.name!r} has no cell {name!r}; cells: "
+            f"{', '.join(c.name for c in self.cells)}"
+        )
+
+    def to_payload(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_payload`)."""
+        return {
+            "schema": CAMPAIGN_SPEC_SCHEMA,
+            "name": self.name,
+            "seed": self.seed,
+            "fast": self.fast,
+            "cells": [cell.to_payload() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "CampaignSpec":
+        """Rebuild a campaign from :meth:`to_payload` output."""
+        schema = payload.get("schema")
+        if schema != CAMPAIGN_SPEC_SCHEMA:
+            raise ValidationError(
+                f"expected schema {CAMPAIGN_SPEC_SCHEMA!r}, got {schema!r}"
+            )
+        unknown = set(payload) - {"schema", "name", "seed", "fast", "cells"}
+        if unknown:
+            raise ValidationError(f"campaign payload has unknown keys: {sorted(unknown)}")
+        cells = payload.get("cells")
+        if not isinstance(cells, (list, tuple)):
+            raise ValidationError("campaign payload 'cells' must be a list")
+        return cls(
+            name=payload.get("name", ""),
+            cells=tuple(CellSpec.from_payload(cell) for cell in cells),
+            seed=payload.get("seed", 0),
+            fast=payload.get("fast", False),
+        )
+
+    def fingerprint(self) -> str:
+        """Short stable digest of the whole spec.
+
+        Pinned into the checkpoint header so a checkpoint written for one
+        grid can never resume a different one (changing any cell's knobs
+        changes the fingerprint and the resume is refused).
+        """
+        canonical = json.dumps(self.to_payload(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

@@ -25,6 +25,14 @@ Streaming mechanisms (see docs/USAGE.md §Online)::
     python -m repro online --budget 120 --dp 0.9         # ε-DP calibration
     python -m repro online --budget 120 --resume ck.jsonl  # kill-and-resume
 
+Campaigns (see docs/USAGE.md §Campaigns)::
+
+    python -m repro experiments --list                   # registry + summaries
+    python -m repro campaign run --preset smoke --dir camp/
+    python -m repro campaign status --dir camp/          # per-cell progress
+    python -m repro campaign resume --dir camp/          # continue after a kill
+    python -m repro campaign report --dir camp/ --json   # repro-campaign/1 doc
+
 ``--trace``/``--metrics`` install a :class:`repro.obs.MetricsRecorder`
 around the experiment runs; instrumentation is outcome-invariant, so the
 printed series are bit-identical with and without it.
@@ -483,6 +491,248 @@ def _online_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def _experiments_main(argv: Sequence[str]) -> int:
+    """``repro experiments --list`` — the experiment registry, with summaries.
+
+    Unlike the bare ``repro list`` (names only, kept for compatibility),
+    this renders each registry entry's one-line summary, so the listing
+    is the same source of truth EXPERIMENTS.md and the campaign presets
+    are generated from.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro experiments",
+        description="Inspect the experiment registry.",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        required=True,
+        help="list every registered experiment with its summary",
+    )
+    parser.parse_args(argv)
+
+    from repro.experiments import REGISTRY
+
+    width = max(len(spec.name) for spec in REGISTRY)
+    for spec in REGISTRY:
+        print(f"{spec.name:<{width}}  {spec.artifact}: {spec.summary}")
+    return 0
+
+
+def _campaign_main(argv: Sequence[str]) -> int:
+    """``repro campaign {run,resume,status,report}`` — declarative grids.
+
+    ``run`` pins a campaign spec (from ``--preset`` or a ``--spec`` JSON
+    file) into ``--dir`` and executes every cell through the resilient
+    executor, checkpointing at each cell boundary; ``resume`` re-runs
+    against the pinned spec, replaying completed cells from the
+    checkpoint; ``status`` lists per-cell progress; ``report`` renders
+    the cross-cell comparison (``--json`` for the ``repro-campaign/1``
+    document).  A completed run/resume writes ``report.txt`` and
+    ``report.json`` into the campaign directory.  Exit codes: 0 ok,
+    2 invalid arguments/spec, 3 cell failure (re-run ``resume`` to
+    recover), 4 privacy budget exhausted.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro campaign",
+        description="Run, resume, and report declarative experiment campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(cmd: argparse.ArgumentParser, *, resilience: bool) -> None:
+        cmd.add_argument(
+            "--dir", required=True, metavar="DIR",
+            help="campaign directory (spec pin, checkpoint, per-cell artifacts)",
+        )
+        if not resilience:
+            return
+        cmd.add_argument(
+            "--max-retries", type=int, default=None, metavar="N",
+            help="retry transient cell failures up to N times",
+        )
+        cmd.add_argument(
+            "--fault-plan", default=None, metavar="SPEC",
+            help="inject cell-indexed faults, e.g. 'crash@2' (chaos drills)",
+        )
+        cmd.add_argument(
+            "--budget", type=float, default=None, metavar="EPS",
+            help="per-cell privacy budget (each cell charges its own tenant)",
+        )
+        cmd.add_argument(
+            "--budget-store", default=None, metavar="PATH",
+            help="durable JSON-lines budget journal shared across cells",
+        )
+        cmd.add_argument(
+            "--on-exhausted", choices=("refuse", "degrade"), default="refuse",
+            help="admission policy for an exhausted cell tenant (default refuse)",
+        )
+
+    run_cmd = sub.add_parser("run", help="pin a spec and execute the grid")
+    group = run_cmd.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--preset", default=None,
+        help="built-in campaign preset (smoke, paper, zoo)",
+    )
+    group.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="campaign spec JSON file (schema repro-campaign-spec/1)",
+    )
+    run_cmd.add_argument(
+        "--seed", type=int, default=0, help="campaign master seed (default 0)"
+    )
+    run_cmd.add_argument(
+        "--fast", action="store_true", default=None,
+        help="CI-sized cells (presets keep their own default when omitted)",
+    )
+    add_common(run_cmd, resilience=True)
+
+    resume_cmd = sub.add_parser(
+        "resume", help="continue the pinned campaign from its checkpoint"
+    )
+    add_common(resume_cmd, resilience=True)
+
+    status_cmd = sub.add_parser("status", help="per-cell progress of a campaign")
+    add_common(status_cmd, resilience=False)
+
+    report_cmd = sub.add_parser(
+        "report", help="render the cross-cell report from completed cells"
+    )
+    report_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the repro-campaign/1 JSON document instead of ASCII",
+    )
+    add_common(report_cmd, resilience=False)
+
+    args = parser.parse_args(argv)
+
+    import json
+    from contextlib import ExitStack, nullcontext
+    from pathlib import Path
+
+    from repro.campaign import (
+        CampaignRunner,
+        CampaignSpec,
+        build_preset,
+        build_report,
+        render_report,
+        report_json,
+    )
+    from repro.exceptions import (
+        BudgetExceededError,
+        CheckpointError,
+        InstanceExecutionError,
+        ValidationError,
+    )
+    from repro.privacy.budget import (
+        InMemoryBudgetStore,
+        JsonlBudgetStore,
+        use_budget_store,
+    )
+    from repro.resilience import FaultPlan, RetryPolicy
+
+    directory = Path(args.dir)
+    try:
+        if args.command == "run":
+            if args.preset is not None:
+                spec = build_preset(args.preset, seed=args.seed, fast=args.fast)
+            else:
+                payload = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+                spec = CampaignSpec.from_payload(payload)
+                if args.seed != 0 or args.fast is not None:
+                    print(
+                        "error: --seed/--fast apply to presets; a spec file "
+                        "pins its own seed and fast flag",
+                        file=sys.stderr,
+                    )
+                    return 2
+        else:
+            spec = CampaignRunner.load_spec(directory)
+    except (OSError, ValueError, ValidationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "status":
+        runner = CampaignRunner(spec, directory)
+        width = max(len(s["cell"]) for s in runner.status())
+        done = 0
+        for entry in runner.status():
+            done += entry["status"] == "done"
+            print(
+                f"{entry['cell']:<{width}}  {entry['status']:<7}  "
+                f"kind={entry['kind']} tenant={entry['tenant']}"
+            )
+        print(f"{done}/{spec.n_cells} cells done")
+        return 0
+
+    if args.command == "report":
+        runner = CampaignRunner(spec, directory)
+        doc = build_report(spec, runner.payloads())
+        if args.json:
+            sys.stdout.write(report_json(doc))
+        else:
+            print(render_report(doc))
+        return 0
+
+    try:
+        retry = None
+        if args.max_retries is not None:
+            retry = RetryPolicy(max_retries=args.max_retries)
+        fault_plan = (
+            None if args.fault_plan is None else FaultPlan.parse(args.fault_plan)
+        )
+        budget_store = None
+        if args.budget_store is not None:
+            budget_store = JsonlBudgetStore(args.budget_store, limit=args.budget)
+        elif args.budget is not None:
+            budget_store = InMemoryBudgetStore(limit=args.budget)
+    except (ValueError, CheckpointError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    runner = CampaignRunner(spec, directory, retry=retry, fault_plan=fault_plan)
+    budget_scope = (
+        nullcontext()
+        if budget_store is None
+        else use_budget_store(budget_store, on_exhausted=args.on_exhausted)
+    )
+    try:
+        with ExitStack() as stack:
+            if isinstance(budget_store, JsonlBudgetStore):
+                stack.enter_context(budget_store)
+            stack.enter_context(budget_scope)
+            payloads = runner.run()
+    except InstanceExecutionError as exc:
+        if isinstance(exc.cause, BudgetExceededError):
+            print(f"error: {exc}", file=sys.stderr)
+            print(
+                "hint: the cell's privacy budget is exhausted; raise --budget "
+                "or use --on-exhausted degrade",
+                file=sys.stderr,
+            )
+            return 4
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            f"hint: completed cells are checkpointed in {directory}; run "
+            f"'repro campaign resume --dir {directory}' to continue",
+            file=sys.stderr,
+        )
+        return 3
+    except BudgetExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    except (ValueError, ValidationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    doc = build_report(spec, payloads)
+    text = render_report(doc)
+    (directory / "report.txt").write_text(text + "\n", encoding="utf-8")
+    (directory / "report.json").write_text(report_json(doc), encoding="utf-8")
+    print(text)
+    print(f"\nwrote {directory / 'report.txt'} and {directory / 'report.json'}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = sys.argv[1:] if argv is None else list(argv)
@@ -490,6 +740,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _trace_main(argv[1:])
     if argv and argv[0] == "online":
         return _online_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        return _campaign_main(argv[1:])
+    if argv and argv[0] == "experiments":
+        return _experiments_main(argv[1:])
     args = _build_parser().parse_args(argv)
     configure_logging(args.verbose)
 

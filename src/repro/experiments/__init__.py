@@ -29,28 +29,20 @@ time; the defaults match the paper's Table I scales.
 | budget_schedule | campaign schedules under a total ε budget | :mod:`~repro.experiments.budget_schedule` |
 """
 
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    REGISTRY,
+    ExperimentSpec,
+    experiment_spec,
+)
 from repro.experiments.runner import ExperimentResult, payment_sweep, payment_sweep_point
 
-__all__ = ["ExperimentResult", "payment_sweep_point", "payment_sweep", "EXPERIMENTS"]
-
-#: Registry mapping CLI names to experiment modules (filled lazily by
-#: :func:`repro.cli.main` to avoid importing every experiment eagerly).
-EXPERIMENTS = (
-    "figure1",
-    "figure2",
-    "figure3",
-    "figure4",
-    "figure5",
-    "table1",
-    "table2",
-    "ablation_greedy",
-    "ablation_grid",
-    "ablation_solver",
-    "ablation_sensitivity",
-    "price_of_privacy",
-    "geo_workload",
-    "budget_schedule",
-    "dp_variants",
-    "approximation",
-    "accuracy",
-)
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "payment_sweep_point",
+    "payment_sweep",
+    "experiment_spec",
+    "EXPERIMENTS",
+    "REGISTRY",
+]

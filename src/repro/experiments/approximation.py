@@ -13,14 +13,13 @@ number).
 from __future__ import annotations
 
 from repro.analysis.payment import approximation_ratio
-from repro.engine.engine import scoped_engine, use_engine
 from repro.experiments.runner import ExperimentResult
+from repro.experiments.trials import run_instance_trials
 from repro.mechanisms.dp_hsrc import DPHSRCAuction
 from repro.mechanisms.baseline import BaselineAuction
 from repro.mechanisms.optimal import optimal_total_payment
 from repro.mechanisms.properties import theorem6_payment_bound
 from repro.utils.rng import ensure_rng
-from repro.workloads.generator import generate_instance
 from repro.workloads.settings import SETTING_I
 
 __all__ = ["run"]
@@ -40,36 +39,39 @@ def run(
         n_workers = min(n_workers, 90)
         if optimal_time_limit is not None:
             optimal_time_limit = min(optimal_time_limit, 8.0)
-    rng = ensure_rng(seed)
     auction = DPHSRCAuction(epsilon=SETTING_I.epsilon)
     baseline = BaselineAuction(epsilon=SETTING_I.epsilon)
-
-    rows = []
     uncertified = 0
-    for trial in range(int(n_instances)):
-        instance, _pool = generate_instance(SETTING_I, rng, n_workers=n_workers)
-        # All three mechanisms on one instance: share the sweep plan
-        # (optimal reuses dp_hsrc's greedy covers as its upper bounds).
-        with use_engine(scoped_engine()):
-            opt = optimal_total_payment(
-                instance, time_limit_per_solve=optimal_time_limit, max_exact_solves=8
-            )
-            if not opt.certified:
-                uncertified += 1
-            dp_payment = auction.price_pmf(instance).expected_total_payment()
-            base_payment = baseline.price_pmf(instance).expected_total_payment()
+
+    def body(trial, instance, rng):
+        # All three mechanisms on one instance share the trial's sweep
+        # plan (optimal reuses dp_hsrc's greedy covers as upper bounds).
+        nonlocal uncertified
+        opt = optimal_total_payment(
+            instance, time_limit_per_solve=optimal_time_limit, max_exact_solves=8
+        )
+        if not opt.certified:
+            uncertified += 1
+        dp_payment = auction.price_pmf(instance).expected_total_payment()
+        base_payment = baseline.price_pmf(instance).expected_total_payment()
         bound = theorem6_payment_bound(
             instance, SETTING_I.epsilon, opt.total_payment, unit=SETTING_I.grid_step
         )
-        rows.append(
-            (
-                trial,
-                round(opt.total_payment, 1),
-                round(approximation_ratio(dp_payment, opt.total_payment), 3),
-                round(approximation_ratio(base_payment, opt.total_payment), 3),
-                round(bound / opt.total_payment, 1),
-            )
+        return (
+            trial,
+            round(opt.total_payment, 1),
+            round(approximation_ratio(dp_payment, opt.total_payment), 3),
+            round(approximation_ratio(base_payment, opt.total_payment), 3),
+            round(bound / opt.total_payment, 1),
         )
+
+    rows = run_instance_trials(
+        SETTING_I,
+        body,
+        n_instances=n_instances,
+        rng=ensure_rng(seed),
+        n_workers=n_workers,
+    )
 
     notes = [
         "theorem6/R_OPT is the proven worst-case envelope (loose by design); "

@@ -7,11 +7,20 @@ payment closely while the baseline sits far above both.
 
 from __future__ import annotations
 
-from repro.experiments.figure_payment import run_payment_figure
+from repro.experiments.figure_payment import PaymentFigureSpec, run_figure_spec
 from repro.experiments.runner import ExperimentResult
-from repro.workloads.settings import SETTING_I
 
-__all__ = ["run"]
+__all__ = ["SPEC", "run"]
+
+SPEC = PaymentFigureSpec(
+    name="figure1",
+    title="Figure 1: platform total payment vs N (setting I, K=30)",
+    setting_name="I",
+    sweep_axis="workers",
+    include_optimal=True,
+    optimal_time_limit=30.0,
+    fast_optimal_time_limit=5.0,
+)
 
 
 def run(
@@ -32,19 +41,10 @@ def run(
     n_price_samples:
         Override the per-point sample count.
     """
-    sweep = SETTING_I.worker_sweep
-    assert sweep is not None
-    samples = n_price_samples if n_price_samples is not None else (2_000 if fast else 10_000)
-    values = sweep[:: max(len(sweep) // 3, 1)] if fast else sweep
-    return run_payment_figure(
-        name="figure1",
-        title="Figure 1: platform total payment vs N (setting I, K=30)",
-        setting=SETTING_I,
-        sweep_axis="workers",
-        sweep_values=values,
-        include_optimal=True,
-        n_price_samples=samples,
+    return run_figure_spec(
+        SPEC,
+        fast=fast,
         seed=seed,
+        n_price_samples=n_price_samples,
         n_repetitions=n_repetitions,
-        optimal_time_limit=5.0 if fast else 30.0,
     )

@@ -6,11 +6,20 @@ DP-hSRC stays close to optimal, the baseline well above both.
 
 from __future__ import annotations
 
-from repro.experiments.figure_payment import run_payment_figure
+from repro.experiments.figure_payment import PaymentFigureSpec, run_figure_spec
 from repro.experiments.runner import ExperimentResult
-from repro.workloads.settings import SETTING_II
 
-__all__ = ["run"]
+__all__ = ["SPEC", "run"]
+
+SPEC = PaymentFigureSpec(
+    name="figure2",
+    title="Figure 2: platform total payment vs K (setting II, N=120)",
+    setting_name="II",
+    sweep_axis="tasks",
+    include_optimal=True,
+    optimal_time_limit=30.0,
+    fast_optimal_time_limit=5.0,
+)
 
 
 def run(
@@ -21,19 +30,10 @@ def run(
     n_repetitions: int = 1,
 ) -> ExperimentResult:
     """Regenerate Figure 2's series (see :func:`figure1.run` for knobs)."""
-    sweep = SETTING_II.task_sweep
-    assert sweep is not None
-    samples = n_price_samples if n_price_samples is not None else (2_000 if fast else 10_000)
-    values = sweep[:: max(len(sweep) // 3, 1)] if fast else sweep
-    return run_payment_figure(
-        name="figure2",
-        title="Figure 2: platform total payment vs K (setting II, N=120)",
-        setting=SETTING_II,
-        sweep_axis="tasks",
-        sweep_values=values,
-        include_optimal=True,
-        n_price_samples=samples,
+    return run_figure_spec(
+        SPEC,
+        fast=fast,
         seed=seed,
+        n_price_samples=n_price_samples,
         n_repetitions=n_repetitions,
-        optimal_time_limit=5.0 if fast else 30.0,
     )

@@ -8,11 +8,18 @@ the whole sweep, and both drift down as workers are added.
 
 from __future__ import annotations
 
-from repro.experiments.figure_payment import run_payment_figure
+from repro.experiments.figure_payment import PaymentFigureSpec, run_figure_spec
 from repro.experiments.runner import ExperimentResult
-from repro.workloads.settings import SETTING_III
 
-__all__ = ["run"]
+__all__ = ["SPEC", "run"]
+
+SPEC = PaymentFigureSpec(
+    name="figure3",
+    title="Figure 3: platform total payment vs N (setting III, K=200)",
+    setting_name="III",
+    sweep_axis="workers",
+    include_optimal=False,
+)
 
 
 def run(
@@ -23,18 +30,10 @@ def run(
     n_repetitions: int = 1,
 ) -> ExperimentResult:
     """Regenerate Figure 3's series (see :func:`figure1.run` for knobs)."""
-    sweep = SETTING_III.worker_sweep
-    assert sweep is not None
-    samples = n_price_samples if n_price_samples is not None else (2_000 if fast else 10_000)
-    values = sweep[:: max(len(sweep) // 3, 1)] if fast else sweep
-    return run_payment_figure(
-        name="figure3",
-        title="Figure 3: platform total payment vs N (setting III, K=200)",
-        setting=SETTING_III,
-        sweep_axis="workers",
-        sweep_values=values,
-        include_optimal=False,
-        n_price_samples=samples,
+    return run_figure_spec(
+        SPEC,
+        fast=fast,
         seed=seed,
+        n_price_samples=n_price_samples,
         n_repetitions=n_repetitions,
     )

@@ -7,11 +7,18 @@ DP-hSRC dominates the baseline throughout.
 
 from __future__ import annotations
 
-from repro.experiments.figure_payment import run_payment_figure
+from repro.experiments.figure_payment import PaymentFigureSpec, run_figure_spec
 from repro.experiments.runner import ExperimentResult
-from repro.workloads.settings import SETTING_IV
 
-__all__ = ["run"]
+__all__ = ["SPEC", "run"]
+
+SPEC = PaymentFigureSpec(
+    name="figure4",
+    title="Figure 4: platform total payment vs K (setting IV, N=1000)",
+    setting_name="IV",
+    sweep_axis="tasks",
+    include_optimal=False,
+)
 
 
 def run(
@@ -22,18 +29,10 @@ def run(
     n_repetitions: int = 1,
 ) -> ExperimentResult:
     """Regenerate Figure 4's series (see :func:`figure1.run` for knobs)."""
-    sweep = SETTING_IV.task_sweep
-    assert sweep is not None
-    samples = n_price_samples if n_price_samples is not None else (2_000 if fast else 10_000)
-    values = sweep[:: max(len(sweep) // 3, 1)] if fast else sweep
-    return run_payment_figure(
-        name="figure4",
-        title="Figure 4: platform total payment vs K (setting IV, N=1000)",
-        setting=SETTING_IV,
-        sweep_axis="tasks",
-        sweep_values=values,
-        include_optimal=False,
-        n_price_samples=samples,
+    return run_figure_spec(
+        SPEC,
+        fast=fast,
         seed=seed,
+        n_price_samples=n_price_samples,
         n_repetitions=n_repetitions,
     )

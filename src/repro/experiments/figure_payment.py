@@ -6,10 +6,19 @@ prices from its distribution, and plot mean ± std of the platform's
 total payment.  Figures 1–2 include the optimal benchmark; Figures 3–4
 drop it because the exact solves become infeasible at that scale — the
 drivers mirror that with an ``include_optimal`` switch.
+
+The figure modules themselves are pure data: each declares one
+:class:`PaymentFigureSpec` and delegates to :func:`run_figure_spec`,
+which owns the fast-mode shrink rules (3 sweep points, 2,000 price
+samples) that used to be copy-pasted across figure1–figure4.  The
+campaign layer's ``payment_figure`` cell kind
+(:mod:`repro.campaign.cells`) builds the same spec from cell knobs, so a
+campaign can run the methodology at any (setting, axis, scale) point.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
@@ -29,9 +38,105 @@ from repro.resilience.checkpoint import SweepCheckpoint
 from repro.resilience.context import current_resilience
 from repro.resilience.executor import ResilientExecutor
 from repro.utils.rng import ensure_rng, generator_seed_sequence
-from repro.workloads.settings import SimulationSetting
+from repro.workloads.settings import SETTINGS, SimulationSetting
 
-__all__ = ["run_payment_figure"]
+__all__ = ["PaymentFigureSpec", "run_figure_spec", "run_payment_figure"]
+
+
+@dataclass(frozen=True)
+class PaymentFigureSpec:
+    """Declarative identity of one payment-comparison figure.
+
+    Attributes
+    ----------
+    name, title:
+        Experiment identity for the report.
+    setting_name:
+        Table I setting key (``"I"``…``"IV"``).
+    sweep_axis:
+        ``"workers"`` or ``"tasks"``.
+    include_optimal:
+        Whether the exact benchmark runs (Figures 1–2 yes, 3–4 no).
+    optimal_time_limit:
+        Per-solve budget of the optimal benchmark at full scale.
+    fast_optimal_time_limit:
+        Tighter per-solve budget in fast mode; ``None`` keeps
+        ``optimal_time_limit`` (the figures without a benchmark never
+        consult it).
+    """
+
+    name: str
+    title: str
+    setting_name: str
+    sweep_axis: str
+    include_optimal: bool
+    optimal_time_limit: float | None = 15.0
+    fast_optimal_time_limit: float | None = None
+
+    @property
+    def setting(self) -> SimulationSetting:
+        """The resolved Table I setting."""
+        try:
+            return SETTINGS[self.setting_name]
+        except KeyError:
+            raise ValueError(
+                f"unknown setting {self.setting_name!r}; available: "
+                f"{', '.join(SETTINGS)}"
+            ) from None
+
+    def default_sweep(self) -> Sequence[int]:
+        """The setting's full sweep along this spec's axis."""
+        setting = self.setting
+        sweep = (
+            setting.worker_sweep if self.sweep_axis == "workers" else setting.task_sweep
+        )
+        if sweep is None:
+            raise ValueError(
+                f"setting {self.setting_name!r} has no {self.sweep_axis} sweep"
+            )
+        return sweep
+
+
+def run_figure_spec(
+    spec: PaymentFigureSpec,
+    *,
+    fast: bool = False,
+    seed: int = 0,
+    n_price_samples: int | None = None,
+    n_repetitions: int = 1,
+    sweep_values: Sequence[int] | None = None,
+) -> ExperimentResult:
+    """Run one :class:`PaymentFigureSpec` (the shared figure1–4 body).
+
+    Owns the fast-mode shrink the four figure modules used to duplicate:
+    every third sweep point and 2,000 price samples instead of 10,000.
+    ``sweep_values`` overrides the sweep entirely (campaign cells use
+    this to run the methodology at arbitrary scale; the fast shrink does
+    not apply to explicit values).
+    """
+    samples = (
+        n_price_samples
+        if n_price_samples is not None
+        else (2_000 if fast else 10_000)
+    )
+    if sweep_values is None:
+        sweep = spec.default_sweep()
+        sweep_values = sweep[:: max(len(sweep) // 3, 1)] if fast else sweep
+    limit = spec.optimal_time_limit
+    if fast and spec.fast_optimal_time_limit is not None:
+        limit = spec.fast_optimal_time_limit
+    return run_payment_figure(
+        name=spec.name,
+        title=spec.title,
+        setting=spec.setting,
+        sweep_axis=spec.sweep_axis,
+        sweep_values=sweep_values,
+        include_optimal=spec.include_optimal,
+        n_price_samples=samples,
+        seed=seed,
+        n_repetitions=n_repetitions,
+        optimal_time_limit=limit,
+    )
 
 
 def _figure_executor(name: str, seed: int, n_price_samples: int) -> ResilientExecutor | None:

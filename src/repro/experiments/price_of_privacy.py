@@ -17,14 +17,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.engine import scoped_engine, use_engine
 from repro.experiments.runner import ExperimentResult
+from repro.experiments.trials import run_instance_trials
 from repro.exceptions import InfeasibleError
 from repro.mechanisms.dp_hsrc import DPHSRCAuction
 from repro.mechanisms.threshold_auction import ThresholdPaymentAuction
 from repro.privacy.leakage import pmf_max_log_ratio
 from repro.utils.rng import ensure_rng
-from repro.workloads.generator import generate_instance, matched_neighbor
+from repro.workloads.generator import matched_neighbor
 from repro.workloads.settings import SETTING_I
 
 __all__ = ["run"]
@@ -34,30 +34,27 @@ def run(*, fast: bool = False, seed: int = 0, n_instances: int = 8) -> Experimen
     """Compare payments and distinguishability across mechanism families."""
     if fast:
         n_instances = min(n_instances, 3)
-    rng = ensure_rng(seed)
     auction = DPHSRCAuction(epsilon=SETTING_I.epsilon)
     threshold = ThresholdPaymentAuction()
 
-    rows = []
-    for trial in range(int(n_instances)):
-        instance, _pool = generate_instance(SETTING_I, rng, n_workers=100)
-        # One engine per trial: the DP auction's sweeps for the instance
-        # and its bid-replaced neighbor are cached under distinct plans
-        # (identity-keyed), so the neighbor can never see a stale cover.
-        with use_engine(scoped_engine()):
-            pmf = auction.price_pmf(instance)
-            dp_payment = pmf.expected_total_payment()
+    def body(trial, instance, rng):
+        # The trial's engine scope keys sweep plans by instance identity,
+        # so the bid-replaced neighbor can never see a stale cover.  The
+        # threshold auction is engine-free, so holding the scope across
+        # its neighbor run changes nothing.
+        pmf = auction.price_pmf(instance)
+        dp_payment = pmf.expected_total_payment()
 
-            try:
-                threshold_outcome = threshold.run(instance)
-                threshold_payment = threshold_outcome.total_payment
-            except InfeasibleError:
-                threshold_outcome = None
-                threshold_payment = float("nan")
+        try:
+            threshold_outcome = threshold.run(instance)
+            threshold_payment = threshold_outcome.total_payment
+        except InfeasibleError:
+            threshold_outcome = None
+            threshold_payment = float("nan")
 
-            worker = int(rng.integers(instance.n_workers))
-            neighbor = matched_neighbor(instance, SETTING_I, worker, seed=rng)
-            dp_distinguish = pmf_max_log_ratio(pmf, auction.price_pmf(neighbor))
+        worker = int(rng.integers(instance.n_workers))
+        neighbor = matched_neighbor(instance, SETTING_I, worker, seed=rng)
+        dp_distinguish = pmf_max_log_ratio(pmf, auction.price_pmf(neighbor))
         if threshold_outcome is None:
             # The mechanism itself failed on this market; distinguishability
             # against a neighbor is undefined rather than infinite.
@@ -72,15 +69,17 @@ def run(*, fast: bool = False, seed: int = 0, n_instances: int = 8) -> Experimen
             except InfeasibleError:
                 threshold_distinguish = float("inf")
 
-        rows.append(
-            (
-                trial,
-                round(dp_payment, 1),
-                round(threshold_payment, 1),
-                round(dp_distinguish, 6),
-                threshold_distinguish,
-            )
+        return (
+            trial,
+            round(dp_payment, 1),
+            round(threshold_payment, 1),
+            round(dp_distinguish, 6),
+            threshold_distinguish,
         )
+
+    rows = run_instance_trials(
+        SETTING_I, body, n_instances=n_instances, rng=ensure_rng(seed), n_workers=100
+    )
 
     return ExperimentResult(
         name="price_of_privacy",

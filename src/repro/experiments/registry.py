@@ -1,0 +1,302 @@
+"""Typed registry of every experiment module.
+
+One :class:`ExperimentSpec` per ``repro.experiments.<name>`` module that
+exposes ``run()``.  The registry is the single source of truth for
+
+* the CLI (``repro list`` / ``repro experiments --list`` / ``repro all``),
+* the campaign layer's ``experiment`` cell kind
+  (:mod:`repro.campaign.cells`),
+* ``scripts/build_experiments_md.py`` (EXPERIMENTS.md sections are
+  rendered from these specs, so the doc can never silently diverge
+  from the code).
+
+``tests/test_experiments_registry.py`` asserts the registry exactly
+matches the modules on disk, so adding an experiment without a spec (or
+a spec without a module) fails CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentSpec", "REGISTRY", "EXPERIMENTS", "experiment_spec"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Static metadata for one experiment module.
+
+    Attributes
+    ----------
+    name:
+        Registry/CLI name; also the module name under
+        ``repro.experiments``.
+    artifact:
+        The paper artifact (or extension) the experiment reproduces —
+        the EXPERIMENTS.md section title.
+    summary:
+        One-line description for ``repro experiments --list``.
+    commentary:
+        EXPERIMENTS.md prose: the paper's reported numbers/shape and how
+        to read our measured series against them.
+    doc_rank:
+        Section order in EXPERIMENTS.md (paper artifacts first, then
+        ablations and extensions); the registry tuple itself stays in
+        CLI order.
+    """
+
+    name: str
+    artifact: str
+    summary: str
+    commentary: str = field(repr=False, default="")
+    doc_rank: int = 0
+
+
+REGISTRY: tuple[ExperimentSpec, ...] = (
+    ExperimentSpec(
+        name="figure1",
+        artifact="Figure 1 — total payment vs N (setting I)",
+        summary="platform total payment vs worker count, optimal included",
+        doc_rank=1,
+        commentary=(
+            "Paper: all three curves fall as workers are added; at every N the\n"
+            "ordering is Optimal < DP-hSRC < Baseline, with DP-hSRC tracking the\n"
+            "optimal closely (~1200-1900 for optimal, ~2000-2300 for baseline over\n"
+            "N=80-140) and the baseline 40-70% above optimal.\n\n"
+            "Ours: same ordering at every sweep point and the same downward\n"
+            "drift; DP-hSRC sits ~15-25% above optimal while the baseline sits\n"
+            "at roughly 1.4-2x optimal. Absolute levels differ from the paper's plot\n"
+            "(different RNG; the paper never prints its exact values); the\n"
+            "relative story is identical.  The optimal benchmark runs with a\n"
+            "30 s-per-solve cap and an 8-solve pruning budget, so on pathological\n"
+            "instances its value is an upper bound on R_OPT — which only makes\n"
+            "the reported DP-hSRC/optimal gap conservative."
+        ),
+    ),
+    ExperimentSpec(
+        name="figure2",
+        artifact="Figure 2 — total payment vs K (setting II)",
+        summary="platform total payment vs task count, optimal included",
+        doc_rank=2,
+        commentary=(
+            "Paper: payments grow with the task load, ordering Optimal < DP-hSRC <\n"
+            "Baseline throughout (optimal ~450-1000, baseline ~800-1400 over\n"
+            "K=20-50).\n\n"
+            "Ours: same monotone growth and the same ordering at every K."
+        ),
+    ),
+    ExperimentSpec(
+        name="figure3",
+        artifact="Figure 3 — total payment vs N at scale (setting III)",
+        summary="payment vs worker count at scale (no optimal benchmark)",
+        doc_rank=3,
+        commentary=(
+            "Paper: optimal is computationally infeasible at N=800-1400, K=200, so\n"
+            "only DP-hSRC (~2700-3000, drifting down) and Baseline (~3700-4300)\n"
+            "are shown; the gap is roughly 30-45%.\n\n"
+            "Ours: optimal likewise omitted; DP-hSRC beats the baseline by a\n"
+            "similar ~30-40% margin at every sweep point.  Both curves are\n"
+            "roughly flat with instance-to-instance noise — the paper's are\n"
+            "likewise nonsmooth (its own caption attributes this to the random\n"
+            "problem instances).  Our absolute payments are lower than the\n"
+            "paper's (roughly 1550-1650 vs their 2700-3000 for DP-hSRC) —\n"
+            "consistent with greedy tie-breaking and instance-draw differences,\n"
+            "not a shape difference."
+        ),
+    ),
+    ExperimentSpec(
+        name="figure4",
+        artifact="Figure 4 — total payment vs K at scale (setting IV)",
+        summary="payment vs task count at scale (no optimal benchmark)",
+        doc_rank=4,
+        commentary=(
+            "Paper: payments rise with K; DP-hSRC (~2300-3900) below Baseline\n"
+            "(~2900-4000) everywhere.\n\n"
+            "Ours: same rising curves, DP-hSRC below baseline at every K."
+        ),
+    ),
+    ExperimentSpec(
+        name="figure5",
+        artifact="Figure 5 — payment vs privacy-leakage trade-off over ε",
+        summary="payment / KL-leakage trade-off as ε sweeps 0.25…1000",
+        doc_rank=6,
+        commentary=(
+            "Paper: average payment falls from ~2650 to ~2300 as ε grows from 0.25\n"
+            "to 1000 while the KL privacy leakage rises from ~0 to ~2.5, with the\n"
+            "knee around ε≈45.\n\n"
+            "Ours: the same two monotone trends on a setting-III instance —\n"
+            "payment falls and the random-neighbor KL leakage rises strictly\n"
+            "with ε, ≈ 0 until ε reaches the tens and climbing from there.  Our\n"
+            "magnitudes are smaller than the paper's ~2.5 because a random\n"
+            "single-bid change rarely moves the greedy winner sets at N=1000;\n"
+            "the adversarial column (pricing the likeliest winner out of the\n"
+            "market, which does move the allocation) shows how much more a\n"
+            "worst-case neighbor leaks at moderate ε."
+        ),
+    ),
+    ExperimentSpec(
+        name="table1",
+        artifact="Table I (simulation settings)",
+        summary="the paper's four simulation settings as configuration",
+        doc_rank=0,
+        commentary=(
+            "The paper's settings, reproduced as configuration. Identity by\n"
+            "construction — this section exists to pin the sweep axes used below."
+        ),
+    ),
+    ExperimentSpec(
+        name="table2",
+        artifact="Table II — execution time, DP-hSRC vs optimal (settings I & II)",
+        summary="execution time of DP-hSRC vs the exact benchmark",
+        doc_rank=5,
+        commentary=(
+            "Paper (GUROBI, 2016): DP-hSRC flat at 0.15-0.17 s for every N and K;\n"
+            "optimal grows from 6.5 s (N=80) to 6139 s (N=136) and from 13 s\n"
+            "(K=20) to 2661 s (K=48).\n\n"
+            "Ours (HiGHS + bound pruning, per-solve cap 60 s): DP-hSRC flat at\n"
+            "~0.05-0.2 s; the optimal computation is one-to-three orders of\n"
+            "magnitude slower and spikes exactly where the MILPs get hard — the\n"
+            "same asymmetry, with our pruning shaving the constant. Rows where a\n"
+            "solve hit its cap are flagged in the notes (the incumbent is then an\n"
+            "upper bound)."
+        ),
+    ),
+    ExperimentSpec(
+        name="ablation_greedy",
+        artifact="Ablation — adaptive truncated-gain greedy vs static ordering",
+        summary="adaptive winner selection vs the baseline's static order",
+        doc_rank=7,
+        commentary=(
+            "DESIGN.md §4 design choice. The adaptive rule (Algorithm 1) lands\n"
+            "within ~8% of the certified optimum; the baseline's static ordering\n"
+            "pays ~40% extra — the entire Figures 1-4 gap in microcosm."
+        ),
+    ),
+    ExperimentSpec(
+        name="ablation_grid",
+        artifact="Ablation — price-grid resolution",
+        summary="expected payment vs price-grid resolution |P|",
+        doc_rank=8,
+        commentary=(
+            "Theorem 6 predicts only logarithmic sensitivity to |P|: measured\n"
+            "expected payment moves by well under 1% while |P| spans 12 → 473."
+        ),
+    ),
+    ExperimentSpec(
+        name="ablation_solver",
+        artifact="Ablation — exact backends (HiGHS MILP vs own branch-and-bound)",
+        summary="the two exact backends agree; HiGHS is 10-100× faster",
+        doc_rank=10,
+        commentary=(
+            "The two GUROBI substitutes agree on the optimum everywhere; HiGHS is\n"
+            "10-100× faster, which is why it is the default and the self-contained\n"
+            "branch-and-bound is the cross-check."
+        ),
+    ),
+    ExperimentSpec(
+        name="ablation_sensitivity",
+        artifact="Ablation — exponential-mechanism sensitivity denominator",
+        summary="how conservative the proof's Δu = N·c_max really is",
+        doc_rank=9,
+        commentary=(
+            "The paper's Δu = N·c_max is what the proof needs, and this ablation\n"
+            "shows how conservative it is on random neighbors: at the nominal\n"
+            "denominator the measured ε is ~100× below budget, and violations only\n"
+            "appear once the denominator is shrunk by about that factor."
+        ),
+    ),
+    ExperimentSpec(
+        name="price_of_privacy",
+        artifact="Extension — the price of privacy",
+        summary="DP-hSRC vs the non-private threshold-payment auction",
+        doc_rank=12,
+        commentary=(
+            "The non-private threshold-payment auction pays ~10-25% less than\n"
+            "DP-hSRC but its payment vector is a deterministic function of the\n"
+            "bids: a single bid change is perfectly distinguishable (empirical\n"
+            "ε = ∞ on most trials) where DP-hSRC is bounded by ε = 0.1."
+        ),
+    ),
+    ExperimentSpec(
+        name="geo_workload",
+        artifact="Extension — route-structured vs uniform bundles",
+        summary="DP-hSRC on geotagging routes vs uniform random bundles",
+        doc_rank=15,
+        commentary=(
+            "On the paper's own motivating geotagging workload (bundles = routes\n"
+            "on a street grid), DP-hSRC's payment is nearly geometry-invariant\n"
+            "and still ~2× below the baseline — the uniform-bundle evaluation in\n"
+            "the paper does not flatter the mechanism."
+        ),
+    ),
+    ExperimentSpec(
+        name="budget_schedule",
+        artifact="Extension — campaign schedules under a total privacy budget",
+        summary="splitting a total ε across rounds: basic vs advanced composition",
+        doc_rank=16,
+        commentary=(
+            "Combines the Figure 5 payment(ε) curve with composition accounting:\n"
+            "splitting a total ε over more rounds raises the per-round payment,\n"
+            "and advanced composition's √k scaling starts beating basic splitting\n"
+            "at around fifty rounds."
+        ),
+    ),
+    ExperimentSpec(
+        name="dp_variants",
+        artifact="Extension — exponential mechanism vs permute-and-flip",
+        summary="modern drop-in DP price stages with the same ε guarantee",
+        doc_rank=13,
+        commentary=(
+            "A modern drop-in price stage (NeurIPS 2020) with the same ε-DP\n"
+            "guarantee. At Table-I scales the distributions are near-uniform, so\n"
+            "the improvement is small but never negative beyond Monte-Carlo noise\n"
+            "— consistent with the dominance theorem."
+        ),
+    ),
+    ExperimentSpec(
+        name="approximation",
+        artifact="Extension — measured approximation ratio vs the Theorem 6 envelope",
+        summary="measured E[R]/R_OPT next to the proven worst-case bound",
+        doc_rank=14,
+        commentary=(
+            "DP-hSRC's measured E[R]/R_OPT sits around 1.15-1.27 (baseline:\n"
+            "1.7-1.9); the proven Theorem 6 envelope is ~4500× — three-plus orders\n"
+            "of magnitude of slack between worst-case theory and practice, which\n"
+            "is exactly why the paper also simulates."
+        ),
+    ),
+    ExperimentSpec(
+        name="accuracy",
+        artifact="Extension — end-to-end label accuracy vs announced targets",
+        summary="winner sets meet every error bound; weighted voting ≈99% accurate",
+        doc_rank=11,
+        commentary=(
+            "Closes the loop the paper leaves implicit: winner sets satisfy 100%\n"
+            "of error-bound constraints and weighted aggregation lands ~99%\n"
+            "accuracy vs the ~85% floor — while majority voting collapses to\n"
+            "chance because Table I's θ∈[0.1,0.9] includes anti-correlated\n"
+            "workers whose votes must be weighted negatively (Lemma 1's point)."
+        ),
+    ),
+)
+
+#: CLI names in registration order (the historical ``repro all`` order).
+EXPERIMENTS: tuple[str, ...] = tuple(spec.name for spec in REGISTRY)
+
+_BY_NAME = {spec.name: spec for spec in REGISTRY}
+
+
+def experiment_spec(name: str) -> ExperimentSpec:
+    """Look up one spec by registry name.
+
+    Raises
+    ------
+    ValueError
+        With the list of available names, mirroring the CLI's message.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+        ) from None

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import logging
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping, Optional, Sequence, Union
@@ -309,7 +308,8 @@ def payment_sweep(
         Master seed (``None``, ``int``, or ``SeedSequence``).
     max_workers:
         ``None`` or ``1`` runs serially in-process; larger values fan the
-        points out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+        points out over the shared long-lived process pool
+        (:func:`repro.campaign.pool.shared_process_pool`).
         With an active ambient budget store (:mod:`repro.privacy.budget`)
         the sweep always runs serially regardless — budget scopes live
         in contextvars, which do not cross process boundaries.
@@ -380,10 +380,16 @@ def payment_sweep(
     if max_workers is None or max_workers <= 1:
         triples = {i: _sweep_point_safe(tasks[i]) for i in pending}
     else:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            triples = dict(
-                zip(pending, pool.map(_sweep_point_safe, [tasks[i] for i in pending]))
-            )
+        # One long-lived pool per width (repro.campaign.pool) instead of
+        # spinning workers up and down per call — campaign grids call
+        # this once per figure cell.  Imported lazily: repro.campaign
+        # imports this module.
+        from repro.campaign.pool import shared_process_pool
+
+        pool = shared_process_pool(max_workers)
+        triples = dict(
+            zip(pending, pool.map(_sweep_point_safe, [tasks[i] for i in pending]))
+        )
     results: list[dict[str, PaymentStats]] = []
     for i in range(len(points)):
         if i not in triples:

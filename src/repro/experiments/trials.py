@@ -1,0 +1,48 @@
+"""Shared per-instance trial loop for the extension experiments.
+
+``price_of_privacy`` and ``approximation`` share one evaluation shape:
+draw ``n_instances`` random markets from a Table I setting off a single
+master stream, and evaluate each under its own fresh engine scope so
+sweep plans cache within a trial but never leak across trials (or across
+an instance and its bid-replaced neighbor — plans are identity-keyed).
+:func:`run_instance_trials` owns that loop; the experiment modules keep
+only their per-instance measurement body.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.auction.instance import AuctionInstance
+from repro.engine.engine import scoped_engine, use_engine
+from repro.workloads.generator import generate_instance
+from repro.workloads.settings import SimulationSetting
+
+__all__ = ["run_instance_trials"]
+
+R = TypeVar("R")
+
+
+def run_instance_trials(
+    setting: SimulationSetting,
+    body: Callable[[int, AuctionInstance, np.random.Generator], R],
+    *,
+    n_instances: int,
+    rng: np.random.Generator,
+    n_workers: int,
+) -> list[R]:
+    """Evaluate ``body`` on ``n_instances`` random markets.
+
+    Per trial: one instance drawn from ``rng`` (so the stream position —
+    and therefore every downstream draw — matches the historical inline
+    loops exactly), then ``body(trial, instance, rng)`` under a fresh
+    engine scope.  Returns the bodies' results in trial order.
+    """
+    results: list[R] = []
+    for trial in range(int(n_instances)):
+        instance, _pool = generate_instance(setting, rng, n_workers=int(n_workers))
+        with use_engine(scoped_engine()):
+            results.append(body(trial, instance, rng))
+    return results

@@ -6,6 +6,9 @@
 * :mod:`~repro.workloads.generator` — random auction-instance generation
   from a setting (or from explicit parameters), plus neighboring-bid
   perturbations for the privacy experiments.
+* :mod:`~repro.workloads.uncertain` — chance-constrained demand
+  inflation for probabilistic task completion (the uncertain-task
+  campaign cell).
 """
 
 from repro.workloads.settings import (
@@ -23,6 +26,13 @@ from repro.workloads.generator import (
     random_bid_perturbation,
 )
 from repro.workloads.streams import ARRIVAL_ORDERS, OnlineArrivalStream, static_gains
+from repro.workloads.uncertain import (
+    CompletionModel,
+    chance_constrained_demands,
+    chance_constrained_instance,
+    completion_satisfaction,
+    inflated_coverage,
+)
 
 __all__ = [
     "SimulationSetting",
@@ -40,4 +50,9 @@ __all__ = [
     "ARRIVAL_ORDERS",
     "OnlineArrivalStream",
     "static_gains",
+    "CompletionModel",
+    "inflated_coverage",
+    "chance_constrained_demands",
+    "chance_constrained_instance",
+    "completion_satisfaction",
 ]

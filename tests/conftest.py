@@ -62,3 +62,26 @@ def tiny_setting() -> SimulationSetting:
 def rng() -> np.random.Generator:
     """A seeded generator for tests needing ad-hoc randomness."""
     return np.random.default_rng(12345)
+
+
+_EXPERIMENT_CACHE: dict = {}
+
+
+@pytest.fixture(scope="session")
+def experiment_cache():
+    """Session-wide cache of fast-mode experiment runs (seed 0).
+
+    The experiment runs dominate the suite's wall-clock (figure1 alone
+    is minutes), and several test files plus the golden suite all need
+    the same ``run(fast=True, seed=0)`` output — pull it through this
+    factory so each experiment runs at most once per session.
+    """
+
+    def get(name: str):
+        if name not in _EXPERIMENT_CACHE:
+            from repro.cli import run_experiment
+
+            _EXPERIMENT_CACHE[name] = run_experiment(name, fast=True)
+        return _EXPERIMENT_CACHE[name]
+
+    return get

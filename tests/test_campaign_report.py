@@ -1,0 +1,113 @@
+"""Tests for the cross-cell campaign report (schema repro-campaign/1)."""
+
+import json
+
+from repro.campaign import (
+    CAMPAIGN_REPORT_SCHEMA,
+    CampaignSpec,
+    CellSpec,
+    build_report,
+    encode_result,
+    render_report,
+    report_json,
+)
+from repro.experiments.runner import ExperimentResult
+
+
+def _result(name, rows, headers=("x", "y")):
+    return ExperimentResult(
+        name=name, title=f"title {name}", headers=list(headers), rows=rows
+    )
+
+
+def _spec(*cells):
+    return CampaignSpec(name="rep", cells=cells, seed=7, fast=True)
+
+
+class TestBuildReport:
+    def test_schema_and_counts(self):
+        spec = _spec(
+            CellSpec(name="a", kind="experiment"),
+            CellSpec(name="b", kind="experiment"),
+        )
+        payloads = {"a": encode_result(_result("a", [(1, 2.0)]))}
+        doc = build_report(spec, payloads)
+        assert doc["schema"] == CAMPAIGN_REPORT_SCHEMA
+        assert doc["campaign"] == "rep"
+        assert doc["seed"] == 7 and doc["fast"] is True
+        assert doc["n_cells"] == 2 and doc["n_done"] == 1
+        by_name = {c["name"]: c for c in doc["cells"]}
+        assert by_name["a"]["status"] == "done"
+        assert by_name["b"]["status"] == "pending"
+        assert by_name["b"]["result"] is None
+
+    def test_cells_listed_in_spec_order(self):
+        spec = _spec(
+            CellSpec(name="z", kind="experiment"),
+            CellSpec(name="a", kind="experiment"),
+        )
+        doc = build_report(spec, {})
+        assert [c["name"] for c in doc["cells"]] == ["z", "a"]
+
+    def test_report_json_is_deterministic_bytes(self):
+        spec = _spec(CellSpec(name="a", kind="experiment"))
+        payloads = {"a": encode_result(_result("a", [(1, 0.1 + 0.2)]))}
+        text1 = report_json(build_report(spec, payloads))
+        text2 = report_json(build_report(spec, dict(payloads)))
+        assert text1 == text2
+        assert text1.endswith("\n")
+        json.loads(text1)  # valid JSON
+
+
+class TestRenderReport:
+    def test_summary_and_per_cell_tables(self):
+        spec = _spec(
+            CellSpec(name="a", kind="experiment"),
+            CellSpec(name="b", kind="experiment"),
+        )
+        payloads = {"a": encode_result(_result("a", [(1, 2.0)]))}
+        text = render_report(build_report(spec, payloads))
+        assert "Campaign rep — 1/2 cells done" in text
+        assert "title a" in text
+        assert "[b] pending — run or resume the campaign" in text
+
+    def test_comparison_groups_shared_headers(self):
+        spec = _spec(
+            CellSpec(name="a", kind="experiment"),
+            CellSpec(name="b", kind="experiment"),
+            CellSpec(name="c", kind="experiment"),
+        )
+        payloads = {
+            "a": encode_result(_result("a", [(1, 2.0)])),
+            "b": encode_result(_result("b", [(3, 4.0)])),
+            # A different header set must not join the comparison group.
+            "c": encode_result(_result("c", [(5,)], headers=("z",))),
+        }
+        text = render_report(build_report(spec, payloads))
+        assert "Cross-cell comparison (2 cells share these columns)" in text
+        # The combined table prefixes each row with its cell name.
+        comparison = text.split("Cross-cell comparison")[1]
+        per_cell = comparison.split("title a")[0]
+        assert "a" in per_cell and "b" in per_cell
+
+    def test_no_comparison_for_singletons(self):
+        spec = _spec(CellSpec(name="a", kind="experiment"))
+        payloads = {"a": encode_result(_result("a", [(1, 2.0)]))}
+        text = render_report(build_report(spec, payloads))
+        assert "Cross-cell comparison" not in text
+
+    def test_render_is_pure_function_of_payloads(self):
+        spec = _spec(
+            CellSpec(name="a", kind="experiment"),
+            CellSpec(name="b", kind="experiment"),
+        )
+        payloads = {
+            "a": encode_result(_result("a", [(1, 2.0)])),
+            "b": encode_result(_result("b", [(3, float("inf"))])),
+        }
+        # Round-tripping payloads through JSON (as the checkpoint does)
+        # must not change a byte of the report.
+        replayed = json.loads(json.dumps(payloads))
+        assert render_report(build_report(spec, replayed)) == render_report(
+            build_report(spec, payloads)
+        )

@@ -1,0 +1,132 @@
+"""Tests for the declarative campaign spec layer and cell-kind registry."""
+
+import pytest
+
+from repro.campaign import (
+    CAMPAIGN_SPEC_SCHEMA,
+    CELL_KINDS,
+    CampaignSpec,
+    CellSpec,
+    PRESETS,
+    build_preset,
+    get_cell_kind,
+    register_cell_kind,
+)
+from repro.campaign.cells import CellKind
+from repro.exceptions import ValidationError
+
+
+class TestCellSpec:
+    def test_knobs_canonicalized(self):
+        cell = CellSpec(name="c", kind="experiment", knobs={"b": 2, "a": (1, 2)})
+        # JSON round-trip at construction: tuples become lists, order fixed.
+        assert cell.knobs == {"a": [1, 2], "b": 2}
+
+    def test_tenant_defaults_to_name(self):
+        assert CellSpec(name="c", kind="experiment").resolved_tenant == "c"
+        assert (
+            CellSpec(name="c", kind="experiment", tenant="t").resolved_tenant == "t"
+        )
+
+    def test_name_doubles_as_directory(self):
+        with pytest.raises(ValidationError):
+            CellSpec(name="../escape", kind="experiment")
+        with pytest.raises(ValidationError):
+            CellSpec(name="", kind="experiment")
+        CellSpec(name="ok-1.cell_x", kind="experiment")  # allowed characters
+
+    def test_payload_round_trip(self):
+        cell = CellSpec(
+            name="c", kind="online_stream", knobs={"orders": ["bursty"]}, tenant="t"
+        )
+        assert CellSpec.from_payload(cell.to_payload()) == cell
+
+    def test_unknown_payload_keys_rejected(self):
+        payload = CellSpec(name="c", kind="experiment").to_payload()
+        payload["mystery"] = 1
+        with pytest.raises(ValidationError, match="mystery"):
+            CellSpec.from_payload(payload)
+
+
+class TestCampaignSpec:
+    def test_duplicate_cell_names_rejected(self):
+        cells = (
+            CellSpec(name="c", kind="experiment"),
+            CellSpec(name="c", kind="experiment"),
+        )
+        with pytest.raises(ValidationError, match="duplicate"):
+            CampaignSpec(name="x", cells=cells)
+
+    def test_needs_at_least_one_cell(self):
+        with pytest.raises(ValidationError):
+            CampaignSpec(name="x", cells=())
+
+    def test_payload_round_trip_and_schema(self):
+        spec = build_preset("smoke")
+        payload = spec.to_payload()
+        assert payload["schema"] == CAMPAIGN_SPEC_SCHEMA
+        assert CampaignSpec.from_payload(payload) == spec
+
+    def test_wrong_schema_rejected(self):
+        payload = build_preset("smoke").to_payload()
+        payload["schema"] = "something-else/9"
+        with pytest.raises(ValidationError, match="schema"):
+            CampaignSpec.from_payload(payload)
+
+    def test_fingerprint_tracks_content(self):
+        a = build_preset("smoke", seed=0)
+        b = build_preset("smoke", seed=1)
+        assert a.fingerprint() == build_preset("smoke", seed=0).fingerprint()
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_cell_lookup(self):
+        spec = build_preset("smoke")
+        assert spec.cell("table1").kind == "experiment"
+        with pytest.raises(ValidationError):
+            spec.cell("nope")
+
+
+class TestCellKindRegistry:
+    def test_builtin_kinds_registered(self):
+        for kind in ("experiment", "payment_figure", "uncertain_tasks", "online_stream"):
+            assert get_cell_kind(kind).name == kind
+
+    def test_unknown_kind_lists_available(self):
+        with pytest.raises(ValidationError, match="experiment"):
+            get_cell_kind("warp_drive")
+
+    def test_duplicate_registration_rejected(self):
+        kind = next(iter(CELL_KINDS))
+        with pytest.raises(ValidationError, match="already registered"):
+            register_cell_kind(CellKind(name=kind, summary="dup", runner=lambda c, x: None))
+
+    def test_custom_kind_registers_and_unregisters(self):
+        name = "test_only_kind"
+        register_cell_kind(
+            CellKind(name=name, summary="for this test", runner=lambda c, x: None)
+        )
+        try:
+            assert get_cell_kind(name).summary == "for this test"
+        finally:
+            del CELL_KINDS[name]
+
+
+class TestPresets:
+    def test_known_presets(self):
+        assert set(PRESETS) == {"smoke", "paper", "zoo"}
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValidationError, match="available"):
+            build_preset("banquet")
+
+    def test_paper_preset_covers_registry(self):
+        from repro.experiments import EXPERIMENTS
+
+        spec = build_preset("paper")
+        assert tuple(c.name for c in spec.cells) == EXPERIMENTS
+        assert all(c.kind == "experiment" for c in spec.cells)
+
+    def test_every_preset_cell_kind_resolves(self):
+        for name in PRESETS:
+            for cell in build_preset(name).cells:
+                get_cell_kind(cell.kind)

@@ -37,6 +37,28 @@ class TestAPIDocsFresh:
             assert name in text
 
 
+class TestExperimentsDocFresh:
+    def test_experiments_md_matches_registry(self):
+        """EXPERIMENTS.md must be regenerated after registry edits.
+
+        The builder renders sections from repro.experiments.REGISTRY, so
+        comparing its output against the committed file catches both
+        stale commentary and missing/renamed sections.
+        """
+        committed = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        module = runpy.run_path(str(REPO / "scripts" / "build_experiments_md.py"))
+        assert module["build_text"]() == committed, (
+            "EXPERIMENTS.md is stale; run `python scripts/build_experiments_md.py`"
+        )
+
+    def test_every_registry_experiment_has_a_section(self):
+        from repro.experiments import REGISTRY
+
+        text = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        for spec in REGISTRY:
+            assert f"## {spec.artifact}" in text
+
+
 class TestDesignDocCrossReferences:
     """DESIGN.md must reference only modules that actually exist."""
 

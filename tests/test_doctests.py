@@ -11,6 +11,7 @@ import pytest
 
 import repro.aggregation.error_bounds
 import repro.bench.batch
+import repro.campaign.runner
 import repro.mechanisms.dp_hsrc
 import repro.privacy.budget
 import repro.privacy.budget.admission
@@ -24,6 +25,7 @@ import repro.utils.timer
 MODULES = [
     repro.utils.rng,
     repro.bench.batch,
+    repro.campaign.runner,
     repro.utils.timer,
     repro.utils.tables,
     repro.mechanisms.dp_hsrc,

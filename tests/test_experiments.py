@@ -28,18 +28,68 @@ class TestRunnerResult:
         with pytest.raises(ValueError):
             result.column("zz")
 
+    def test_empty_rows_render_headers_only(self):
+        result = ExperimentResult(name="x", title="T", headers=["a", "b"], rows=[])
+        text = result.to_table()
+        lines = text.splitlines()
+        # Title, header line, rule — and nothing else.
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 3
+        assert result.column("a") == []
+
+    def test_ragged_rows_rejected(self):
+        result = ExperimentResult(
+            name="x", title="T", headers=["a", "b"], rows=[(1, 2), (3,)]
+        )
+        with pytest.raises(ValueError, match="1 cells .* 2 headers"):
+            result.to_table()
+
+    def test_wide_row_rejected(self):
+        result = ExperimentResult(
+            name="x", title="T", headers=["a"], rows=[(1, 2)]
+        )
+        with pytest.raises(ValueError, match="2 cells .* 1 headers"):
+            result.to_table()
+
+    def test_non_string_cells_format(self):
+        """bool/None/numpy/non-finite cells all render deterministically."""
+        result = ExperimentResult(
+            name="x",
+            title="T",
+            headers=["a", "b", "c", "d", "e"],
+            rows=[
+                (True, None, np.int64(7), float("inf"), float("nan")),
+                (False, "s", np.float64(1.5), -float("inf"), 0.125),
+            ],
+            precision=2,
+        )
+        text = result.to_table()
+        assert "True" in text and "None" in text and "7" in text
+        assert "inf" in text and "nan" in text
+        # numpy floats obey the precision like python floats.
+        assert "1.50" in text and "0.12" in text
+
+    def test_precision_respected(self):
+        result = ExperimentResult(
+            name="x", title="T", headers=["a"], rows=[(1.23456,)], precision=1
+        )
+        assert "1.2" in result.to_table()
+        assert "1.23" not in result.to_table()
+
 
 class TestTable1:
-    def test_matches_paper_parameters(self):
-        result = run_experiment("table1", fast=True)
+    def test_matches_paper_parameters(self, experiment_cache):
+        result = experiment_cache("table1")
         assert len(result.rows) == 4
         assert [row[0] for row in result.rows] == ["I", "II", "III", "IV"]
 
 
 class TestFigure5Fast:
-    def test_tradeoff_shape(self):
+    def test_tradeoff_shape(self, experiment_cache):
         """Leakage must rise and payment must fall along the ε sweep."""
-        result = run_experiment("figure5", fast=True)
+        result = experiment_cache("figure5")
         eps = result.column("epsilon")
         payments = result.column("avg total payment")
         leakages = result.column("mean KL leakage")
@@ -50,20 +100,20 @@ class TestFigure5Fast:
 
 
 class TestAblationsFast:
-    def test_greedy_ablation_orders_rules(self):
-        result = run_experiment("ablation_greedy", fast=True)
+    def test_greedy_ablation_orders_rules(self, experiment_cache):
+        result = experiment_cache("ablation_greedy")
         adaptive = result.column("adaptive/opt")
         static = result.column("static/opt")
         assert all(a >= 1.0 - 1e-9 for a in adaptive)
         assert np.mean(adaptive) <= np.mean(static) + 1e-9
 
-    def test_solver_ablation_backends_agree(self):
-        result = run_experiment("ablation_solver", fast=True)
+    def test_solver_ablation_backends_agree(self, experiment_cache):
+        result = experiment_cache("ablation_solver")
         assert all(row[2] == row[3] for row in result.rows)
         assert any("agree" in note for note in result.notes)
 
-    def test_grid_ablation_support_grows_with_resolution(self):
-        result = run_experiment("ablation_grid", fast=True)
+    def test_grid_ablation_support_grows_with_resolution(self, experiment_cache):
+        result = experiment_cache("ablation_grid")
         steps = result.column("grid step")
         supports = result.column("|P|")
         # Finer steps → larger supports.
@@ -74,8 +124,8 @@ class TestAblationsFast:
 
 
 class TestFigureDriversFast:
-    def test_figure1_shape(self):
-        result = run_experiment("figure1", fast=True)
+    def test_figure1_shape(self, experiment_cache):
+        result = experiment_cache("figure1")
         assert "optimal mean" in result.headers
         for row in result.rows:
             opt = row[result.headers.index("optimal mean")]
@@ -84,16 +134,16 @@ class TestFigureDriversFast:
             assert opt <= dp * 1.001
             assert dp <= base * 1.05
 
-    def test_figure3_has_no_optimal(self):
-        result = run_experiment("figure3", fast=True)
+    def test_figure3_has_no_optimal(self, experiment_cache):
+        result = experiment_cache("figure3")
         assert "optimal mean" not in result.headers
         for row in result.rows:
             dp = row[result.headers.index("dp_hsrc mean")]
             base = row[result.headers.index("baseline mean")]
             assert dp <= base * 1.05
 
-    def test_table2_runtime_asymmetry(self):
-        result = run_experiment("table2", fast=True)
+    def test_table2_runtime_asymmetry(self, experiment_cache):
+        result = experiment_cache("table2")
         for row in result.rows:
             dp_time = row[result.headers.index("dp_hsrc time (s)")]
             opt_time = row[result.headers.index("optimal time (s)")]

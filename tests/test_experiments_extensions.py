@@ -5,12 +5,10 @@ import math
 import numpy as np
 import pytest
 
-from repro.cli import run_experiment
-
 
 class TestPriceOfPrivacy:
-    def test_runs_and_shows_the_leak(self):
-        result = run_experiment("price_of_privacy", fast=True)
+    def test_runs_and_shows_the_leak(self, experiment_cache):
+        result = experiment_cache("price_of_privacy")
         dp_eps = result.column("dp empirical eps")
         th_eps = result.column("threshold empirical eps")
         # DP-hSRC's distinguishability is bounded by its budget.
@@ -22,27 +20,21 @@ class TestPriceOfPrivacy:
 
 
 class TestDPVariants:
-    def test_permute_flip_never_loses(self):
-        result = run_experiment("dp_variants", fast=True)
+    def test_permute_flip_never_loses(self, experiment_cache):
+        result = experiment_cache("dp_variants")
         improvements = result.column("improvement")
         # Monte-Carlo noise allowance: small negatives only.
         assert all(imp >= -30.0 for imp in improvements)
 
-    def test_epsilon_column_sorted(self):
-        result = run_experiment("dp_variants", fast=True)
+    def test_epsilon_column_sorted(self, experiment_cache):
+        result = experiment_cache("dp_variants")
         eps = result.column("epsilon")
         assert eps == sorted(eps)
 
 
-@pytest.fixture(scope="module")
-def approximation_result():
-    """The approximation experiment is expensive; run it once per module."""
-    return run_experiment("approximation", fast=True)
-
-
 class TestApproximation:
-    def test_measured_ratio_inside_envelope(self, approximation_result):
-        result = approximation_result
+    def test_measured_ratio_inside_envelope(self, experiment_cache):
+        result = experiment_cache("approximation")
         for row in result.rows:
             dp_ratio = row[result.headers.index("dp_hsrc ratio")]
             envelope = row[result.headers.index("theorem6 / R_OPT")]
@@ -50,16 +42,16 @@ class TestApproximation:
             # which can push the measured ratio marginally below 1.
             assert 0.95 <= dp_ratio <= envelope
 
-    def test_dp_beats_baseline(self, approximation_result):
-        result = approximation_result
+    def test_dp_beats_baseline(self, experiment_cache):
+        result = experiment_cache("approximation")
         dp = result.column("dp_hsrc ratio")
         base = result.column("baseline ratio")
         assert np.mean(dp) <= np.mean(base) + 0.05
 
 
 class TestAccuracy:
-    def test_demands_met_and_targets_beaten(self):
-        result = run_experiment("accuracy", fast=True)
+    def test_demands_met_and_targets_beaten(self, experiment_cache):
+        result = experiment_cache("accuracy")
         for row in result.rows:
             met = row[result.headers.index("tasks meeting demand")]
             accuracy = row[result.headers.index("weighted accuracy")]
@@ -70,23 +62,23 @@ class TestAccuracy:
 
 
 class TestAblationSensitivity:
-    def test_guarantee_holds_at_and_above_true_sensitivity(self):
-        result = run_experiment("ablation_sensitivity", fast=True)
+    def test_guarantee_holds_at_and_above_true_sensitivity(self, experiment_cache):
+        result = experiment_cache("ablation_sensitivity")
         for row in result.rows:
             factor = row[result.headers.index("factor x N*c_max")]
             if factor >= 1.0:
                 assert row[result.headers.index("guarantee")] == "OK"
 
-    def test_payment_monotone_in_factor(self):
+    def test_payment_monotone_in_factor(self, experiment_cache):
         """Bigger denominators flatten the distribution -> higher payments."""
-        result = run_experiment("ablation_sensitivity", fast=True)
+        result = experiment_cache("ablation_sensitivity")
         payments = result.column("E[payment]")
         assert payments == sorted(payments)
 
 
 class TestBudgetSchedule:
-    def test_payment_rises_as_budget_splits(self):
-        result = run_experiment("budget_schedule", fast=True)
+    def test_payment_rises_as_budget_splits(self, experiment_cache):
+        result = experiment_cache("budget_schedule")
         basic = [
             row for row in result.rows
             if row[result.headers.index("accounting")] == "basic"
@@ -94,14 +86,14 @@ class TestBudgetSchedule:
         per_round = [row[result.headers.index("E[payment]/round")] for row in basic]
         assert per_round == sorted(per_round)
 
-    def test_larger_per_round_epsilon_never_pays_more(self):
+    def test_larger_per_round_epsilon_never_pays_more(self, experiment_cache):
         """Whichever accounting grants more eps per round pays no more.
 
         (Advanced composition grants *less* than basic for small round
         counts and more for large ones — the payment ordering must track
         the eps ordering either way.)
         """
-        result = run_experiment("budget_schedule", fast=True)
+        result = experiment_cache("budget_schedule")
         eps_col = result.headers.index("eps per round")
         pay_col = result.headers.index("E[payment]/round")
         by_rounds: dict = {}

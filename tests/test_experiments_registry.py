@@ -1,0 +1,86 @@
+"""The experiment registry must exactly mirror the modules on disk."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro.experiments as experiments_pkg
+from repro.experiments import EXPERIMENTS, REGISTRY, experiment_spec
+
+#: Infrastructure modules inside repro.experiments that are not
+#: experiments themselves (no registry entry, no ``run()`` contract).
+SUPPORT_MODULES = {
+    "export",
+    "figure_payment",
+    "registry",
+    "report",
+    "runner",
+    "trials",
+}
+
+
+def _modules_on_disk() -> set[str]:
+    return {
+        info.name
+        for info in pkgutil.iter_modules(experiments_pkg.__path__)
+        if info.name not in SUPPORT_MODULES
+    }
+
+
+class TestRegistryMatchesDisk:
+    def test_registry_names_equal_experiment_modules(self):
+        assert set(EXPERIMENTS) == _modules_on_disk()
+
+    @pytest.mark.parametrize("name", EXPERIMENTS)
+    def test_every_experiment_module_exposes_run(self, name):
+        module = importlib.import_module(f"repro.experiments.{name}")
+        assert callable(getattr(module, "run", None)), (
+            f"repro.experiments.{name} has no run() but is in the registry"
+        )
+
+    def test_support_modules_do_not_expose_run(self):
+        """A module growing run() must be promoted into the registry."""
+        for name in SUPPORT_MODULES:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            assert not callable(getattr(module, "run", None)), (
+                f"repro.experiments.{name} exposes run() but is unregistered"
+            )
+
+
+class TestRegistryContents:
+    def test_specs_have_artifact_and_summary(self):
+        for spec in REGISTRY:
+            assert spec.artifact, f"{spec.name} is missing an artifact title"
+            assert spec.summary, f"{spec.name} is missing a summary"
+            assert spec.commentary, f"{spec.name} is missing commentary"
+
+    def test_doc_ranks_are_a_permutation(self):
+        """EXPERIMENTS.md section order is total and unambiguous."""
+        ranks = sorted(spec.doc_rank for spec in REGISTRY)
+        assert ranks == list(range(len(REGISTRY)))
+
+    def test_spec_lookup(self):
+        assert experiment_spec("table1").name == "table1"
+        with pytest.raises(ValueError, match="figure1"):
+            experiment_spec("nope")
+
+
+class TestExperimentsListCLI:
+    def test_list_prints_every_registry_entry(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == len(REGISTRY)
+        for spec, line in zip(REGISTRY, lines):
+            assert line.startswith(spec.name)
+            assert spec.summary in line
+
+    def test_list_flag_required(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiments"])
+        assert excinfo.value.code == 2

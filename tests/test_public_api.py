@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.workloads",
     "repro.experiments",
+    "repro.campaign",
     "repro.engine",
     "repro.bench",
     "repro.obs",
